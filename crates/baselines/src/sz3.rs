@@ -1,0 +1,590 @@
+//! SZ3-style compressor [26, 36]: multilevel *dimension-aware* spline
+//! interpolation prediction + verified error-controlled quantization +
+//! Huffman+LZ.
+//!
+//! SZ3 replaced SZ2's Lorenzo/regression predictors with dynamic spline
+//! interpolation, which generally compresses better at similar throughput
+//! (§VI). This reproduction implements the real multilevel scheme on the
+//! grid: sparse anchors are delta-predicted, then each level halves the
+//! lattice stride with one interpolation pass per dimension (z, then y,
+//! then x), predicting midpoints with a 4-point cubic where the stencil
+//! fits and linear/copy at the boundaries — always from *reconstructed*
+//! values, with every reconstruction verified against the bound (outlier
+//! fallback). The bound is therefore guaranteed, matching SZ3's ✓ entries
+//! in Table III; REL is not supported, exactly as the paper notes.
+//!
+//! Two variants, as in the evaluation:
+//! * [`Sz3::serial`] — one prediction hierarchy over the whole grid plus
+//!   one global entropy table (the highest-ratio configuration);
+//! * [`Sz3::omp`] — the grid is cut into slabs along the slowest dimension
+//!   and compressed in parallel with per-slab hierarchies and tables;
+//!   "produces different compression ratios, and therefore different
+//!   files, than the serial version" (§IV) but both decompress correctly.
+
+use crate::common::{
+    entropy_backend, entropy_backend_decode, finite_range, read_outliers, write_outliers,
+    BaseHeader, ByteReader, ByteWriter, OUTLIER_SYM, QUANT_RADIUS,
+};
+use crate::{BaselineError, Capabilities, Compressor, ErrorBound, Result, Support};
+use pfpl::float::PfplFloat;
+use pfpl::types::BoundKind;
+use rayon::prelude::*;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"SZ3\0");
+/// Minimum values per parallel slab in the OMP variant.
+const OMP_BLOCK: usize = 1 << 17;
+
+/// The SZ3 comparator (serial or block-parallel "OMP" variant).
+#[derive(Debug, Clone, Copy)]
+pub struct Sz3 {
+    omp: bool,
+}
+
+impl Sz3 {
+    /// The serial variant (SZ3_Serial in the figures).
+    pub fn serial() -> Self {
+        Self { omp: false }
+    }
+    /// The OpenMP-analogue variant (SZ3_OMP in the figures).
+    pub fn omp() -> Self {
+        Self { omp: true }
+    }
+}
+
+/// How one grid point is predicted.
+enum Pred {
+    /// Anchor: delta from the previous anchor in scan order.
+    Anchor(Option<usize>),
+    /// Interpolation along one axis: flattened neighbor indices
+    /// `(far_left, left, right, far_right)`; `left` always exists.
+    Along {
+        /// `idx - 3h*stride` when the cubic stencil fits.
+        far_left: Option<usize>,
+        /// `idx - h*stride` (always in range).
+        left: usize,
+        /// `idx + h*stride` when in range.
+        right: Option<usize>,
+        /// `idx + 3h*stride` when the cubic stencil fits.
+        far_right: Option<usize>,
+    },
+}
+
+/// Evaluate a prediction against (reconstructed or original) data.
+#[inline]
+fn predict<F: PfplFloat>(data: &[F], p: &Pred) -> f64 {
+    match p {
+        Pred::Anchor(prev) => prev.map_or(0.0, |j| data[j].to_f64()),
+        Pred::Along {
+            far_left,
+            left,
+            right,
+            far_right,
+        } => match (far_left, right, far_right) {
+            (Some(fl), Some(r), Some(fr)) => {
+                // 4-point cubic on a uniform lattice:
+                // (-f(-3h) + 9f(-h) + 9f(h) - f(3h)) / 16
+                (-data[*fl].to_f64() + 9.0 * data[*left].to_f64() + 9.0 * data[*r].to_f64()
+                    - data[*fr].to_f64())
+                    / 16.0
+            }
+            (_, Some(r), _) => 0.5 * (data[*left].to_f64() + data[*r].to_f64()),
+            _ => data[*left].to_f64(),
+        },
+    }
+}
+
+/// Build the along-axis stencil for a point at coordinate `pos` (of `len`)
+/// with half-stride `h` and flattened axis stride `stride`.
+#[inline]
+fn along(pos: usize, len: usize, h: usize, stride: usize, idx: usize) -> Pred {
+    debug_assert!(pos >= h);
+    let right = (pos + h < len).then(|| idx + h * stride);
+    // Use the cubic only when the full 4-point stencil exists.
+    let cubic = right.is_some() && pos >= 3 * h && pos + 3 * h < len;
+    Pred::Along {
+        far_left: cubic.then(|| idx - 3 * h * stride),
+        left: idx - h * stride,
+        right,
+        far_right: cubic.then(|| idx + 3 * h * stride),
+    }
+}
+
+/// Drive `f` over every point of a `dims` grid (rank ≤ 3, slowest first)
+/// in hierarchy order: anchors, then per-level z/y/x interpolation passes.
+/// Encoder and decoder share this walk, so they can never diverge.
+fn interp_walk(dims: &[usize], mut f: impl FnMut(usize, Pred)) {
+    let (nz, ny, nx) = match *dims {
+        [nx] => (1, 1, nx),
+        [ny, nx] => (1, ny, nx),
+        [nz, ny, nx] => (nz, ny, nx),
+        // rank > 3 or 0: treat as flattened 1D (the paper's tools only
+        // accept 1–3D anyway).
+        _ => (1, 1, dims.iter().product()),
+    };
+    if nx * ny * nz == 0 {
+        return;
+    }
+    let flat = |z: usize, y: usize, x: usize| (z * ny + y) * nx + x;
+
+    // Top stride: power of two deep enough to cover the longest axis.
+    let longest = nx.max(ny).max(nz);
+    let mut top = 1usize;
+    while top * 2 <= (longest - 1).max(1) && top < (1 << 14) {
+        top *= 2;
+    }
+
+    // Anchors on the stride-`top` lattice, delta-chained in scan order.
+    let mut prev: Option<usize> = None;
+    for z in (0..nz).step_by(top) {
+        for y in (0..ny).step_by(top) {
+            for x in (0..nx).step_by(top) {
+                let idx = flat(z, y, x);
+                f(idx, Pred::Anchor(prev));
+                prev = Some(idx);
+            }
+        }
+    }
+
+    // Refinement levels: one pass per dimension, halving the stride.
+    let mut s = top;
+    while s >= 2 {
+        let h = s / 2;
+        // Along z: new points (z ≡ h mod s) on the coarse (s) y/x lattice.
+        for z in (h..nz).step_by(s) {
+            for y in (0..ny).step_by(s) {
+                for x in (0..nx).step_by(s) {
+                    f(flat(z, y, x), along(z, nz, h, ny * nx, flat(z, y, x)));
+                }
+            }
+        }
+        // Along y: z refined to h, x still coarse.
+        for z in (0..nz).step_by(h) {
+            for y in (h..ny).step_by(s) {
+                for x in (0..nx).step_by(s) {
+                    f(flat(z, y, x), along(y, ny, h, nx, flat(z, y, x)));
+                }
+            }
+        }
+        // Along x: z and y refined to h.
+        for z in (0..nz).step_by(h) {
+            for y in (0..ny).step_by(h) {
+                for x in (h..nx).step_by(s) {
+                    f(flat(z, y, x), along(x, nx, h, 1, flat(z, y, x)));
+                }
+            }
+        }
+        s = h;
+    }
+}
+
+/// Compress one slab; returns (symbols, outliers).
+fn encode_block<F: PfplFloat>(
+    data: &[F],
+    dims: &[usize],
+    abs_eb: f64,
+) -> (Vec<u16>, Vec<<F as PfplFloat>::Bits>) {
+    let eb2 = 2.0 * abs_eb;
+    let mut recon = vec![F::ZERO; data.len()];
+    let mut syms = vec![0u16; data.len()];
+    let mut outliers = Vec::new();
+    interp_walk(dims, |idx, p| {
+        let v = data[idx];
+        let pred = predict(&recon, &p);
+        let mut stored = None;
+        if v.is_finite() {
+            let code = ((v.to_f64() - pred) / eb2).round() as i64;
+            if code.unsigned_abs() <= QUANT_RADIUS as u64 {
+                let r = F::from_f64(pred + code as f64 * eb2);
+                // Verified: SZ3 guarantees the bound.
+                if (v.to_f64() - r.to_f64()).abs() <= abs_eb {
+                    stored = Some(((code + QUANT_RADIUS + 1) as u16, r));
+                }
+            }
+        }
+        match stored {
+            Some((sym, r)) => {
+                syms[idx] = sym;
+                recon[idx] = r;
+            }
+            None => {
+                syms[idx] = OUTLIER_SYM;
+                recon[idx] = v;
+                outliers.push(v.to_bits());
+            }
+        }
+    });
+    (syms, outliers)
+}
+
+/// Decode one slab (inverse hierarchy).
+fn decode_block<F: PfplFloat>(
+    syms: &[u16],
+    dims: &[usize],
+    outliers: &[<F as PfplFloat>::Bits],
+    abs_eb: f64,
+) -> Result<Vec<F>> {
+    let eb2 = 2.0 * abs_eb;
+    let mut out = vec![F::ZERO; syms.len()];
+    let mut oi = 0usize;
+    let mut err = None;
+    interp_walk(dims, |idx, p| {
+        if err.is_some() {
+            return;
+        }
+        if syms[idx] == OUTLIER_SYM {
+            match outliers.get(oi) {
+                Some(&bits) => {
+                    out[idx] = F::from_bits(bits);
+                    oi += 1;
+                }
+                None => err = Some(BaselineError::Corrupt("outlier underrun".into())),
+            }
+        } else {
+            let pred = predict(&out, &p);
+            let code = syms[idx] as i64 - (QUANT_RADIUS + 1);
+            out[idx] = F::from_f64(pred + code as f64 * eb2);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Cut a grid into slabs along the slowest dimension such that each slab
+/// holds at least [`OMP_BLOCK`] values. Returns (start_row, rows) pairs.
+fn slabs(dims: &[usize]) -> Vec<(usize, usize)> {
+    let slow = dims[0];
+    let rest: usize = dims[1..].iter().product::<usize>().max(1);
+    let rows_per = OMP_BLOCK.div_ceil(rest).max(1);
+    let mut out = Vec::new();
+    let mut z = 0;
+    while z < slow {
+        let take = rows_per.min(slow - z);
+        out.push((z, take));
+        z += take;
+    }
+    out
+}
+
+fn compress_impl<F: PfplFloat>(
+    omp: bool,
+    data: &[F],
+    dims: &[usize],
+    bound: ErrorBound,
+) -> Result<Vec<u8>> {
+    if dims.iter().product::<usize>() != data.len() || dims.is_empty() {
+        return Err(BaselineError::Corrupt("dims mismatch".into()));
+    }
+    let eb = bound.value();
+    if !(eb > 0.0) || !eb.is_finite() {
+        return Err(BaselineError::Unsupported(format!("bad bound {eb}")));
+    }
+    let (kind, abs_eb) = match bound {
+        ErrorBound::Abs(_) => (BoundKind::Abs, eb),
+        ErrorBound::Noa(_) => {
+            let range = finite_range(data).unwrap_or(0.0);
+            let abs = eb * range;
+            if !(abs > 0.0) {
+                return Err(BaselineError::Unsupported("degenerate NOA range".into()));
+            }
+            (BoundKind::Noa, abs)
+        }
+        ErrorBound::Rel(_) => {
+            return Err(BaselineError::Unsupported(
+                "SZ3 does not support the REL bound (Table III)".into(),
+            ))
+        }
+    };
+    let mut w = ByteWriter::new();
+    BaseHeader {
+        magic: MAGIC,
+        double: F::PRECISION == pfpl::types::Precision::Double,
+        kind,
+        eb,
+        param: abs_eb,
+        dims: dims.to_vec(),
+    }
+    .write(&mut w);
+    w.u8(omp as u8);
+    if omp {
+        let rest: usize = dims[1..].iter().product::<usize>().max(1);
+        let pieces = slabs(dims);
+        let blocks: Vec<(Vec<u8>, Vec<<F as PfplFloat>::Bits>)> = pieces
+            .par_iter()
+            .map(|&(z0, rows)| {
+                let mut sub = dims.to_vec();
+                sub[0] = rows;
+                let slice = &data[z0 * rest..(z0 + rows) * rest];
+                let (syms, outliers) = encode_block(slice, &sub, abs_eb);
+                (entropy_backend(&syms), outliers)
+            })
+            .collect();
+        w.u32(blocks.len() as u32);
+        for (payload, outliers) in &blocks {
+            write_outliers::<F>(outliers, &mut w);
+            w.block(payload);
+        }
+    } else {
+        let (syms, outliers) = encode_block(data, dims, abs_eb);
+        write_outliers::<F>(&outliers, &mut w);
+        w.block(&entropy_backend(&syms));
+    }
+    Ok(w.into_vec())
+}
+
+fn decompress_impl<F: PfplFloat>(archive: &[u8]) -> Result<Vec<F>> {
+    let mut r = ByteReader::new(archive);
+    let h = BaseHeader::read(&mut r, MAGIC)?;
+    if h.double != (F::PRECISION == pfpl::types::Precision::Double) {
+        return Err(BaselineError::Corrupt("precision mismatch".into()));
+    }
+    let n = h.count();
+    let omp = r.u8()? != 0;
+    if omp {
+        let pieces = slabs(&h.dims);
+        let nblocks = r.u32()? as usize;
+        if nblocks != pieces.len() {
+            return Err(BaselineError::Corrupt(format!("bad block count {nblocks}")));
+        }
+        let rest: usize = h.dims[1..].iter().product::<usize>().max(1);
+        let mut parsed = Vec::with_capacity(nblocks);
+        for &(_, rows) in &pieces {
+            let outliers = read_outliers::<F>(&mut r)?;
+            let syms = entropy_backend_decode(r.block()?)?;
+            if syms.len() != rows * rest {
+                return Err(BaselineError::Corrupt("block symbol count".into()));
+            }
+            parsed.push((syms, outliers));
+        }
+        let decoded: Vec<Result<Vec<F>>> = parsed
+            .par_iter()
+            .zip(&pieces)
+            .map(|((syms, outliers), &(_, rows))| {
+                let mut sub = h.dims.clone();
+                sub[0] = rows;
+                decode_block(syms, &sub, outliers, h.param)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for d in decoded {
+            out.extend(d?);
+        }
+        Ok(out)
+    } else {
+        let outliers = read_outliers::<F>(&mut r)?;
+        let syms = entropy_backend_decode(r.block()?)?;
+        if syms.len() != n {
+            return Err(BaselineError::Corrupt("symbol count".into()));
+        }
+        decode_block(&syms, &h.dims, &outliers, h.param)
+    }
+}
+
+impl Compressor for Sz3 {
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            name: if self.omp { "SZ3_OMP" } else { "SZ3_Serial" },
+            abs: Support::Guaranteed,
+            rel: Support::No,
+            noa: Support::Guaranteed,
+            float: true,
+            double: true,
+            cpu: true,
+            gpu: false,
+        }
+    }
+    fn compress_f32(&self, data: &[f32], dims: &[usize], bound: ErrorBound) -> Result<Vec<u8>> {
+        compress_impl(self.omp, data, dims, bound)
+    }
+    fn decompress_f32(&self, archive: &[u8]) -> Result<Vec<f32>> {
+        decompress_impl(archive)
+    }
+    fn compress_f64(&self, data: &[f64], dims: &[usize], bound: ErrorBound) -> Result<Vec<u8>> {
+        compress_impl(self.omp, data, dims, bound)
+    }
+    fn decompress_f64(&self, archive: &[u8]) -> Result<Vec<f64>> {
+        decompress_impl(archive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.003).sin() * 20.0 + (i as f32 * 0.0001).cos() * 3.0)
+            .collect()
+    }
+
+    fn smooth_3d(dims: [usize; 3]) -> Vec<f32> {
+        let mut v = Vec::new();
+        for z in 0..dims[0] {
+            for y in 0..dims[1] {
+                for x in 0..dims[2] {
+                    v.push(
+                        ((x as f32) * 0.08).sin() * 10.0
+                            + ((y as f32) * 0.06).cos() * 6.0
+                            + ((z as f32) * 0.1).sin() * 3.0,
+                    );
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn walk_visits_every_index_once_with_known_predictors() {
+        for dims in [
+            vec![1usize],
+            vec![2],
+            vec![7],
+            vec![100],
+            vec![4097],
+            vec![5, 9],
+            vec![32, 32],
+            vec![3, 5, 7],
+            vec![16, 16, 16],
+            vec![20, 33, 17],
+        ] {
+            let n: usize = dims.iter().product();
+            let mut seen = vec![false; n];
+            interp_walk(&dims, |i, p| {
+                assert!(!seen[i], "dims {dims:?}: index {i} visited twice");
+                match p {
+                    Pred::Anchor(Some(j)) => assert!(seen[j]),
+                    Pred::Along {
+                        far_left,
+                        left,
+                        right,
+                        far_right,
+                    } => {
+                        assert!(seen[left], "dims {dims:?} i={i}: left {left} unseen");
+                        for o in [far_left, right, far_right].into_iter().flatten() {
+                            assert!(seen[o], "dims {dims:?} i={i}: neighbor {o} unseen");
+                        }
+                    }
+                    _ => {}
+                }
+                seen[i] = true;
+            });
+            assert!(seen.iter().all(|&s| s), "dims {dims:?}: not all visited");
+        }
+    }
+
+    #[test]
+    fn serial_roundtrip_guaranteed() {
+        let data = smooth(50_000);
+        for &eb in &[1e-1, 1e-3, 1e-5] {
+            let arch = Sz3::serial()
+                .compress_f32(&data, &[data.len()], ErrorBound::Abs(eb))
+                .unwrap();
+            let back = Sz3::serial().decompress_f32(&arch).unwrap();
+            for (a, b) in data.iter().zip(&back) {
+                assert!((*a as f64 - *b as f64).abs() <= eb, "eb={eb} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_roundtrip_guaranteed() {
+        let dims = [20usize, 33, 17];
+        let data = smooth_3d(dims);
+        let eb = 1e-3;
+        let arch = Sz3::serial()
+            .compress_f32(&data, &dims, ErrorBound::Abs(eb))
+            .unwrap();
+        let back = Sz3::serial().decompress_f32(&arch).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a as f64 - *b as f64).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn omp_roundtrip_and_ratio_below_serial() {
+        let data = smooth(400_000);
+        let eb = 1e-3;
+        let serial = Sz3::serial()
+            .compress_f32(&data, &[data.len()], ErrorBound::Abs(eb))
+            .unwrap();
+        let omp = Sz3::omp()
+            .compress_f32(&data, &[data.len()], ErrorBound::Abs(eb))
+            .unwrap();
+        assert_ne!(serial, omp, "the two variants produce different files (§IV)");
+        assert!(
+            omp.len() >= serial.len(),
+            "per-slab tables cost ratio: omp={} serial={}",
+            omp.len(),
+            serial.len()
+        );
+        let back = Sz3::omp().decompress_f32(&omp).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a as f64 - *b as f64).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn omp_3d_roundtrip() {
+        let dims = [48usize, 64, 64];
+        let data = smooth_3d(dims);
+        let eb = 1e-2;
+        let arch = Sz3::omp()
+            .compress_f32(&data, &dims, ErrorBound::Abs(eb))
+            .unwrap();
+        let back = Sz3::omp().decompress_f32(&arch).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a as f64 - *b as f64).abs() <= eb);
+        }
+    }
+
+    #[test]
+    fn beats_sz2_on_smooth_3d_data() {
+        use crate::sz2::Sz2;
+        let dims = [32usize, 48, 48];
+        let data = smooth_3d(dims);
+        let eb = ErrorBound::Abs(1e-3);
+        let sz3 = Sz3::serial().compress_f32(&data, &dims, eb).unwrap();
+        let sz2 = Sz2.compress_f32(&data, &dims, eb).unwrap();
+        assert!(
+            sz3.len() < sz2.len(),
+            "cubic interpolation should out-compress Lorenzo on 3D: sz3={} sz2={}",
+            sz3.len(),
+            sz2.len()
+        );
+    }
+
+    #[test]
+    fn rel_unsupported() {
+        assert!(matches!(
+            Sz3::serial().compress_f32(&[1.0], &[1], ErrorBound::Rel(1e-3)),
+            Err(BaselineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn f64_noa_roundtrip() {
+        let data: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.001).sin() * 7.0).collect();
+        let arch = Sz3::serial()
+            .compress_f64(&data, &[data.len()], ErrorBound::Noa(1e-4))
+            .unwrap();
+        let back = Sz3::serial().decompress_f64(&arch).unwrap();
+        let range = 14.0;
+        for (a, b) in data.iter().zip(&back) {
+            assert!((a - b).abs() <= 1e-4 * range);
+        }
+    }
+
+    #[test]
+    fn specials_survive() {
+        let mut data = smooth(1000);
+        data[3] = f32::NAN;
+        data[4] = f32::NEG_INFINITY;
+        let arch = Sz3::serial()
+            .compress_f32(&data, &[1000], ErrorBound::Abs(1e-3))
+            .unwrap();
+        let back = Sz3::serial().decompress_f32(&arch).unwrap();
+        assert!(back[3].is_nan());
+        assert_eq!(back[4], f32::NEG_INFINITY);
+    }
+}

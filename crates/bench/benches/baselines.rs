@@ -1,0 +1,36 @@
+//! Baseline-vs-PFPL throughput snapshot on one field (the CPU ordering
+//! the paper reports: PFPL_OMP ≫ SZ3_OMP > SZ3_Serial ≈ SZ2 > SPERR).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfpl::types::{ErrorBound, Mode};
+use pfpl_baselines::{sz2::Sz2, sz3::Sz3, zfp::Zfp, Compressor};
+use pfpl_data::{suite_by_name, FieldData, SizeClass};
+
+fn bench_baselines(c: &mut Criterion) {
+    let suite = suite_by_name("SCALE", SizeClass::Tiny).unwrap();
+    let field = &suite.fields[0];
+    let FieldData::F32(data) = &field.data else { unreachable!() };
+    let dims = field.dims.clone();
+    let eb = ErrorBound::Abs(1e-3);
+
+    let mut g = c.benchmark_group("compressors/SCALE-field");
+    g.throughput(Throughput::Bytes(field.byte_len() as u64));
+    g.bench_function("PFPL_OMP", |b| {
+        b.iter(|| pfpl::compress(data, eb, Mode::Parallel).unwrap())
+    });
+    g.bench_function("PFPL_Serial", |b| {
+        b.iter(|| pfpl::compress(data, eb, Mode::Serial).unwrap())
+    });
+    g.bench_function("SZ2", |b| b.iter(|| Sz2.compress_f32(data, &dims, eb).unwrap()));
+    g.bench_function("SZ3_Serial", |b| {
+        b.iter(|| Sz3::serial().compress_f32(data, &dims, eb).unwrap())
+    });
+    g.bench_function("SZ3_OMP", |b| {
+        b.iter(|| Sz3::omp().compress_f32(data, &dims, eb).unwrap())
+    });
+    g.bench_function("ZFP", |b| b.iter(|| Zfp.compress_f32(data, &dims, eb).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Substrate microbenchmarks: decoupled look-back scan and warp/block
+//! collectives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pfpl_device_sim::block;
+use pfpl_device_sim::grid;
+use pfpl_device_sim::lookback::Lookback;
+use pfpl_device_sim::warp;
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("lookback/1024-blocks-8-workers", |b| {
+        let sizes: Vec<u64> = (0..1024u64).map(|i| i * 37 % 1000).collect();
+        b.iter(|| {
+            let lb = Lookback::new(1024);
+            grid::launch(1024, 8, |i| {
+                black_box(lb.run_block(i, sizes[i]));
+            });
+        })
+    });
+
+    c.bench_function("warp/transpose32", |b| {
+        let mut block: [u32; 32] = std::array::from_fn(|i| (i as u32).wrapping_mul(2654435761));
+        b.iter(|| {
+            warp::transpose32(&mut block);
+            block[0]
+        })
+    });
+
+    c.bench_function("block/scan-4096", |b| {
+        let vals: Vec<u64> = (0..4096u64).collect();
+        b.iter(|| {
+            let mut v = vals.clone();
+            block::exclusive_scan_wrapping_u64(&mut v, 8)
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end PFPL compress/decompress throughput in the three execution
+//! modes (Serial / Parallel / simulated GPU), on a CESM-like field.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pfpl::types::{ErrorBound, Mode};
+use pfpl_data::{suite_by_name, FieldData, SizeClass};
+use pfpl_device_sim::{configs, GpuDevice};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let suite = suite_by_name("CESM-ATM", SizeClass::Tiny).unwrap();
+    let field = &suite.fields[0];
+    let FieldData::F32(data) = &field.data else { unreachable!() };
+    let bound = ErrorBound::Abs(1e-3);
+    let bytes = field.byte_len() as u64;
+
+    let mut g = c.benchmark_group("end-to-end/CESM");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("compress/serial", |b| {
+        b.iter(|| pfpl::compress(data, bound, Mode::Serial).unwrap())
+    });
+    g.bench_function("compress/parallel", |b| {
+        b.iter(|| pfpl::compress(data, bound, Mode::Parallel).unwrap())
+    });
+    let gpu = GpuDevice::new(configs::RTX_4090);
+    g.bench_function("compress/gpu-sim", |b| {
+        b.iter(|| gpu.compress(data, bound).unwrap())
+    });
+
+    let archive = pfpl::compress(data, bound, Mode::Serial).unwrap();
+    g.bench_function("decompress/serial", |b| {
+        b.iter(|| pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap())
+    });
+    g.bench_function("decompress/parallel", |b| {
+        b.iter(|| pfpl::decompress::<f32>(&archive, Mode::Parallel).unwrap())
+    });
+    g.bench_function("decompress/gpu-sim", |b| {
+        b.iter(|| gpu.decompress::<f32>(&archive).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

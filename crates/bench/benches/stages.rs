@@ -1,0 +1,71 @@
+//! Microbenchmarks of the individual PFPL pipeline stages on one full
+//! 16 KiB chunk (the paper's unit of parallel work).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pfpl::lossless::{delta, shuffle, zeroelim};
+use pfpl::quantize::{AbsQuantizer, Quantizer, RelQuantizer};
+
+fn chunk_f32() -> Vec<f32> {
+    (0..4096).map(|i| (i as f32 * 0.003).sin() * 12.0).collect()
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let vals = chunk_f32();
+    let mut g = c.benchmark_group("stages/16KiB-chunk");
+    g.throughput(Throughput::Bytes(16 * 1024));
+
+    let qa = AbsQuantizer::<f32>::new(1e-3).unwrap();
+    g.bench_function("quantize-abs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &vals {
+                acc ^= qa.encode(black_box(v));
+            }
+            acc
+        })
+    });
+
+    let qr = RelQuantizer::<f32>::new(1e-3).unwrap();
+    g.bench_function("quantize-rel", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &v in &vals {
+                acc ^= qr.encode(black_box(v));
+            }
+            acc
+        })
+    });
+
+    let words: Vec<u32> = vals.iter().map(|&v| qa.encode(v)).collect();
+    g.bench_function("delta-negabinary", |b| {
+        b.iter(|| {
+            let mut w = words.clone();
+            delta::encode_in_place(&mut w);
+            w
+        })
+    });
+
+    let mut deltas = words.clone();
+    delta::encode_in_place(&mut deltas);
+    g.bench_function("bit-shuffle", |b| {
+        let mut out = vec![0u8; deltas.len() * 4];
+        b.iter(|| {
+            shuffle::encode(&deltas, &mut out);
+            out[0]
+        })
+    });
+
+    let mut shuffled = vec![0u8; deltas.len() * 4];
+    shuffle::encode(&deltas, &mut shuffled);
+    g.bench_function("zero-elimination", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(16 * 1024);
+            zeroelim::encode(&shuffled, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

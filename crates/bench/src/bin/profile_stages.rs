@@ -1,0 +1,33 @@
+use std::time::Instant;
+fn main() {
+    let n = 4096*256; // 4MB
+    let vals: Vec<f32> = (0..n).map(|i| (i as f32 * 0.003).sin() * 12.0).collect();
+    let q = pfpl::quantize::AbsQuantizer::<f32>::new(1e-3).unwrap();
+    use pfpl::quantize::Quantizer;
+    use pfpl::lossless::{delta, shuffle, zeroelim};
+    let bytes = n*4;
+    let t0 = Instant::now();
+    let mut words: Vec<u32> = vals.iter().map(|&v| q.encode(v)).collect();
+    let t1 = Instant::now();
+    delta::encode_in_place(&mut words);
+    let t2 = Instant::now();
+    let mut buf = vec![0u8; bytes];
+    for c in words.chunks(4096) { shuffle::encode(c, &mut buf[..c.len()*4]); }
+    let t3 = Instant::now();
+    let mut out = Vec::new();
+    for c in buf.chunks(16384) { out.clear(); zeroelim::encode(c, &mut out); }
+    let t4 = Instant::now();
+    let gbs = |d: std::time::Duration| bytes as f64 / d.as_secs_f64() / 1e9;
+    println!("quantize: {:.2} GB/s", gbs(t1-t0));
+    println!("delta:    {:.2} GB/s", gbs(t2-t1));
+    println!("shuffle:  {:.2} GB/s", gbs(t3-t2));
+    println!("zeroelim: {:.2} GB/s", gbs(t4-t3));
+    // end to end
+    let t5 = Instant::now();
+    let arch = pfpl::compress(&vals, pfpl::ErrorBound::Abs(1e-3), pfpl::Mode::Serial).unwrap();
+    let t6 = Instant::now();
+    println!("end2end:  {:.2} GB/s (ratio {:.2})", gbs(t6-t5), bytes as f64/arch.len() as f64);
+    let t7 = Instant::now();
+    let _: Vec<f32> = pfpl::decompress(&arch, pfpl::Mode::Serial).unwrap();
+    println!("decomp:   {:.2} GB/s", gbs(Instant::now()-t7));
+}

@@ -1,0 +1,35 @@
+//! # pfpl-bench — harness regenerating every table and figure of the paper
+//!
+//! Each binary in `src/bin/` reproduces one evaluation artifact; the
+//! shared machinery here sweeps (compressor × suite × bound) grids,
+//! measures median-of-N throughput (§IV methodology), aggregates with the
+//! geometric mean of per-suite geometric means, and prints both
+//! human-readable tables and machine-readable CSV.
+//!
+//! | binary            | artifact |
+//! |-------------------|----------|
+//! | `table1`          | Table I (systems) |
+//! | `table2`          | Table II (input suites) |
+//! | `table3`          | Table III (features + empirical bound audit) |
+//! | `fig_abs`         | Figs. 6–7 (ABS ratio vs comp/decomp throughput) |
+//! | `fig_rel`         | Figs. 8–11 (REL) |
+//! | `fig_noa`         | Figs. 12–15 (NOA) |
+//! | `fig_psnr`        | Fig. 16 (PSNR vs ratio) |
+//! | `fig_gpu_gens`    | §V-F (GPU-generation scaling) |
+//! | `ablation`        | §III-D claim (drop any lossless stage → ratio collapses) |
+//! | `guarantee_cost`  | §III-B claim (unquantizable-value fraction & cost) |
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod audit;
+pub mod harness;
+pub mod participants;
+
+pub use args::Args;
+pub use harness::{print_rows, run_matrix, Row};
+pub use participants::{Participant, Side};
+
+/// The paper's four error-bound magnitudes (circle, triangle, square,
+/// pentagon markers in the figures).
+pub const PAPER_BOUNDS: [f64; 4] = [1e-1, 1e-2, 1e-3, 1e-4];

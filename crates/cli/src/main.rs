@@ -1,0 +1,233 @@
+//! `pfpl` — command-line front end, mirroring the usage of the paper's
+//! reference binaries on SDRBench-style raw float dumps.
+//!
+//! ```text
+//! pfpl compress   -i data.f32 -o data.pfpl --type f32 --bound abs --eb 1e-3
+//! pfpl decompress -i data.pfpl -o restored.f32
+//! pfpl info       -i data.pfpl
+//! pfpl verify     -i data.f32 -a data.pfpl --type f32
+//! ```
+
+use pfpl::container::Header;
+use pfpl::types::{BoundKind, ErrorBound, Mode, Precision};
+use std::process::ExitCode;
+
+mod opts;
+use opts::Opts;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("pfpl: {e}");
+            eprintln!("{}", opts::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let (cmd, opts) = Opts::parse(argv)?;
+    match cmd.as_str() {
+        "compress" => compress(&opts),
+        "decompress" => decompress(&opts),
+        "info" => info(&opts),
+        "verify" => verify(&opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn read_values_f32(path: &str) -> Result<Vec<f32>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!("{path}: size {} is not a multiple of 4", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn read_values_f64(path: &str) -> Result<Vec<f64>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.len() % 8 != 0 {
+        return Err(format!("{path}: size {} is not a multiple of 8", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+fn compress(o: &Opts) -> Result<String, String> {
+    let input = o.require("-i")?;
+    let output = o.require("-o")?;
+    let bound = o.bound()?;
+    let mode = o.mode();
+    let (archive, stats) = if o.is_double()? {
+        let data = read_values_f64(input)?;
+        pfpl::compress_with_stats(&data, bound, mode).map_err(|e| e.to_string())?
+    } else {
+        let data = read_values_f32(input)?;
+        pfpl::compress_with_stats(&data, bound, mode).map_err(|e| e.to_string())?
+    };
+    std::fs::write(output, &archive).map_err(|e| format!("{output}: {e}"))?;
+    Ok(format!(
+        "{} -> {} | {} values, ratio {:.2}x, unquantizable {:.4}%",
+        input,
+        output,
+        stats.total_values,
+        stats.ratio(),
+        stats.lossless_fraction() * 100.0
+    ))
+}
+
+fn decompress(o: &Opts) -> Result<String, String> {
+    let input = o.require("-i")?;
+    let output = o.require("-o")?;
+    let archive = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (header, _, _) = Header::read(&archive).map_err(|e| e.to_string())?;
+    let mode = o.mode();
+    let bytes: Vec<u8> = match header.precision {
+        Precision::Single => {
+            let vals: Vec<f32> = pfpl::decompress(&archive, mode).map_err(|e| e.to_string())?;
+            vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+        }
+        Precision::Double => {
+            let vals: Vec<f64> = pfpl::decompress(&archive, mode).map_err(|e| e.to_string())?;
+            vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+        }
+    };
+    std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    Ok(format!(
+        "{} -> {} | {} values ({:?}, {:?} bound {:.3e})",
+        input, output, header.count, header.precision, header.kind, header.user_bound
+    ))
+}
+
+fn info(o: &Opts) -> Result<String, String> {
+    let input = o.require("-i")?;
+    let archive = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (h, sizes, payload_start) = Header::read(&archive).map_err(|e| e.to_string())?;
+    let raw_chunks = sizes
+        .iter()
+        .filter(|&&s| s & pfpl::container::RAW_FLAG != 0)
+        .count();
+    let word = match h.precision {
+        Precision::Single => 4,
+        Precision::Double => 8,
+    };
+    Ok(format!(
+        "archive:      {input}\n\
+         precision:    {:?}\n\
+         bound:        {} {:.6e}{}\n\
+         values:       {}\n\
+         chunks:       {} ({raw_chunks} stored raw)\n\
+         header+table: {payload_start} bytes\n\
+         payload:      {} bytes\n\
+         ratio:        {:.3}x",
+        h.precision,
+        h.kind.name(),
+        h.user_bound,
+        if h.passthrough { " (passthrough)" } else { "" },
+        h.count,
+        h.chunk_count,
+        archive.len() - payload_start,
+        (h.count * word) as f64 / archive.len() as f64,
+    ))
+}
+
+fn verify(o: &Opts) -> Result<String, String> {
+    let input = o.require("-i")?;
+    let arch_path = o.require("-a")?;
+    let archive = std::fs::read(arch_path).map_err(|e| format!("{arch_path}: {e}"))?;
+    let (h, _, _) = Header::read(&archive).map_err(|e| e.to_string())?;
+    let eb = h.user_bound;
+    let (max_err, metric, n) = match h.precision {
+        Precision::Single => {
+            let orig = read_values_f32(input)?;
+            let recon: Vec<f32> =
+                pfpl::decompress(&archive, Mode::Parallel).map_err(|e| e.to_string())?;
+            if orig.len() != recon.len() {
+                return Err(format!(
+                    "length mismatch: input {} vs archive {}",
+                    orig.len(),
+                    recon.len()
+                ));
+            }
+            let orig64: Vec<f64> = orig.iter().map(|&v| v as f64).collect();
+            let rec64: Vec<f64> = recon.iter().map(|&v| v as f64).collect();
+            (measure(&orig64, &rec64, h.kind), h.kind.name(), orig.len())
+        }
+        Precision::Double => {
+            let orig = read_values_f64(input)?;
+            let recon: Vec<f64> =
+                pfpl::decompress(&archive, Mode::Parallel).map_err(|e| e.to_string())?;
+            if orig.len() != recon.len() {
+                return Err("length mismatch".into());
+            }
+            (measure(&orig, &recon, h.kind), h.kind.name(), orig.len())
+        }
+    };
+    if max_err <= eb {
+        Ok(format!(
+            "OK: {n} values, max {metric} error {max_err:.6e} <= bound {eb:.6e}"
+        ))
+    } else {
+        Err(format!(
+            "BOUND VIOLATED: max {metric} error {max_err:.6e} > bound {eb:.6e}"
+        ))
+    }
+}
+
+fn measure(orig: &[f64], recon: &[f64], kind: BoundKind) -> f64 {
+    let mut max = 0.0f64;
+    match kind {
+        BoundKind::Abs => {
+            for (a, b) in orig.iter().zip(recon) {
+                if a.is_finite() {
+                    max = max.max((a - b).abs());
+                }
+            }
+        }
+        BoundKind::Rel => {
+            for (a, b) in orig.iter().zip(recon) {
+                if a.is_finite() && *a != 0.0 {
+                    max = max.max(((a - b) / a).abs());
+                }
+            }
+        }
+        BoundKind::Noa => {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &a in orig {
+                if a.is_finite() {
+                    lo = lo.min(a);
+                    hi = hi.max(a);
+                }
+            }
+            let range = hi - lo;
+            if range > 0.0 {
+                for (a, b) in orig.iter().zip(recon) {
+                    if a.is_finite() {
+                        max = max.max((a - b).abs() / range);
+                    }
+                }
+            }
+        }
+    }
+    max
+}
+
+/// Map the ErrorBound constructor choices (shared with `opts`).
+pub(crate) fn make_bound(kind: &str, eb: f64) -> Result<ErrorBound, String> {
+    match kind {
+        "abs" => Ok(ErrorBound::Abs(eb)),
+        "rel" => Ok(ErrorBound::Rel(eb)),
+        "noa" => Ok(ErrorBound::Noa(eb)),
+        other => Err(format!("unknown bound type `{other}` (abs|rel|noa)")),
+    }
+}

@@ -1,0 +1,114 @@
+//! Flag parsing for the `pfpl` binary (no external dependencies).
+
+use pfpl::types::{ErrorBound, Mode};
+use std::collections::HashMap;
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  pfpl compress   -i <raw floats> -o <archive> --type f32|f64 --bound abs|rel|noa --eb <value> [--serial]
+  pfpl decompress -i <archive> -o <raw floats> [--serial]
+  pfpl info       -i <archive>
+  pfpl verify     -i <raw floats> -a <archive>";
+
+/// Parsed flag map.
+pub struct Opts {
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Opts {
+    /// Split `argv` into (command, options).
+    pub fn parse(argv: &[String]) -> Result<(String, Opts), String> {
+        let Some((cmd, rest)) = argv.split_first() else {
+            return Err("missing command".into());
+        };
+        let mut flags = HashMap::new();
+        let mut bools = Vec::new();
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            if !flag.starts_with('-') {
+                return Err(format!("unexpected argument `{flag}`"));
+            }
+            match flag.as_str() {
+                "--serial" => bools.push(flag.clone()),
+                _ => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("missing value for {flag}"))?;
+                    flags.insert(flag.clone(), value.clone());
+                }
+            }
+        }
+        Ok((cmd.clone(), Opts { flags, bools }))
+    }
+
+    /// Fetch a required flag value.
+    pub fn require(&self, flag: &str) -> Result<&str, String> {
+        self.flags
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag {flag}"))
+    }
+
+    /// Parse `--type`.
+    pub fn is_double(&self) -> Result<bool, String> {
+        match self.require("--type")? {
+            "f32" => Ok(false),
+            "f64" => Ok(true),
+            other => Err(format!("unknown --type `{other}` (f32|f64)")),
+        }
+    }
+
+    /// Parse `--bound` + `--eb` into an [`ErrorBound`].
+    pub fn bound(&self) -> Result<ErrorBound, String> {
+        let kind = self.require("--bound")?;
+        let eb: f64 = self
+            .require("--eb")?
+            .parse()
+            .map_err(|_| "bad --eb value".to_string())?;
+        crate::make_bound(kind, eb)
+    }
+
+    /// Execution mode (`--serial` opts out of the parallel default).
+    pub fn mode(&self) -> Mode {
+        if self.bools.iter().any(|b| b == "--serial") {
+            Mode::Serial
+        } else {
+            Mode::Parallel
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_compress_invocation() {
+        let (cmd, o) = Opts::parse(&sv(&[
+            "compress", "-i", "in.f32", "-o", "out.pfpl", "--type", "f32", "--bound", "rel",
+            "--eb", "1e-4", "--serial",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "compress");
+        assert_eq!(o.require("-i").unwrap(), "in.f32");
+        assert!(!o.is_double().unwrap());
+        assert!(matches!(o.bound().unwrap(), ErrorBound::Rel(v) if v == 1e-4));
+        assert!(matches!(o.mode(), Mode::Serial));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Opts::parse(&sv(&[])).is_err());
+        assert!(Opts::parse(&sv(&["compress", "stray"])).is_err());
+        assert!(Opts::parse(&sv(&["compress", "-i"])).is_err());
+        let (_, o) = Opts::parse(&sv(&["compress", "--bound", "nope", "--eb", "1"])).unwrap();
+        assert!(o.bound().is_err());
+        assert!(o.require("-i").is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Fused per-chunk pipeline (paper §III-E).
+//!
+//! Data is processed in independent 16 KiB chunks: each chunk is quantized,
+//! delta-coded, bit-shuffled, and zero-eliminated in one pass over scratch
+//! buffers that stay resident in L1 ("the most important optimization is
+//! fusing all four stages"). Chunks whose compressed form would be at least
+//! as large as the raw data are stored raw and flagged, capping worst-case
+//! expansion at the size table's 4 bytes per chunk.
+
+use crate::error::{Error, Result};
+use crate::float::{PfplFloat, Word};
+use crate::lossless::{delta, shuffle, zeroelim};
+use crate::quantize::Quantizer;
+
+/// Chunk size in bytes (16 KiB, as in the paper).
+pub const CHUNK_BYTES: usize = 16 * 1024;
+
+/// Number of values per full chunk for precision `F`.
+pub const fn values_per_chunk<F: PfplFloat>() -> usize {
+    CHUNK_BYTES / (F::Bits::BITS as usize / 8)
+}
+
+/// Reusable scratch buffers so the serial path never reallocates
+/// (the paper's "two 16 kB buffers that are alternately used").
+pub struct Scratch<F: PfplFloat> {
+    words: Vec<F::Bits>,
+    bytes: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl<F: PfplFloat> Default for Scratch<F> {
+    fn default() -> Self {
+        Self {
+            words: Vec::with_capacity(values_per_chunk::<F>()),
+            bytes: vec![0u8; CHUNK_BYTES],
+            payload: Vec::with_capacity(CHUNK_BYTES),
+        }
+    }
+}
+
+/// Per-chunk compression outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkInfo {
+    /// True if the chunk was emitted raw (incompressible).
+    pub raw: bool,
+    /// Number of values stored losslessly by the quantizer
+    /// (the §III-B "unquantizable" count; 0 for raw chunks — the whole
+    /// chunk is lossless but not due to quantizer fallback).
+    pub lossless_values: u64,
+}
+
+/// Compress one chunk of values, appending the payload to `out`.
+pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+    out: &mut Vec<u8>,
+) -> ChunkInfo {
+    debug_assert!(vals.len() <= values_per_chunk::<F>());
+    let word_bytes = F::Bits::BITS as usize / 8;
+    let raw_len = vals.len() * word_bytes;
+
+    // Stage 0: quantize (+ §III-B lossless-fallback statistics).
+    scratch.words.clear();
+    let mut lossless = 0u64;
+    for &v in vals {
+        let w = q.encode(v);
+        lossless += q.is_lossless_word(w) as u64;
+        scratch.words.push(w);
+    }
+
+    // Stage 1: delta + negabinary, in place.
+    delta::encode_in_place(&mut scratch.words);
+
+    // Stage 2: bit shuffle into the byte buffer.
+    let bytes = &mut scratch.bytes[..raw_len];
+    shuffle::encode(&scratch.words, bytes);
+
+    // Stage 3: zero-byte elimination.
+    scratch.payload.clear();
+    zeroelim::encode(bytes, &mut scratch.payload);
+
+    if scratch.payload.len() >= raw_len {
+        // Incompressible: emit the original values unchanged (lossless).
+        let start = out.len();
+        out.resize(start + raw_len, 0);
+        for (i, &v) in vals.iter().enumerate() {
+            v.to_bits()
+                .write_le(&mut out[start + i * word_bytes..start + (i + 1) * word_bytes]);
+        }
+        ChunkInfo {
+            raw: true,
+            lossless_values: 0,
+        }
+    } else {
+        out.extend_from_slice(&scratch.payload);
+        ChunkInfo {
+            raw: false,
+            lossless_values: lossless,
+        }
+    }
+}
+
+/// Decompress one chunk payload into `vals`.
+pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    payload: &[u8],
+    raw: bool,
+    vals: &mut [F],
+    scratch: &mut Scratch<F>,
+) -> Result<()> {
+    let word_bytes = F::Bits::BITS as usize / 8;
+    let raw_len = vals.len() * word_bytes;
+    if raw {
+        if payload.len() != raw_len {
+            return Err(Error::Corrupt(format!(
+                "raw chunk payload is {} bytes, expected {raw_len}",
+                payload.len()
+            )));
+        }
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = F::from_bits(F::Bits::read_le(&payload[i * word_bytes..(i + 1) * word_bytes]));
+        }
+        return Ok(());
+    }
+    let (bytes, used) = zeroelim::decode(payload, raw_len)?;
+    if used != payload.len() {
+        return Err(Error::Corrupt(format!(
+            "chunk payload has {} trailing bytes",
+            payload.len() - used
+        )));
+    }
+    scratch.words.clear();
+    scratch.words.resize(vals.len(), F::Bits::ZERO);
+    shuffle::decode(&bytes, &mut scratch.words);
+    delta::decode_in_place(&mut scratch.words);
+    for (v, &w) in vals.iter_mut().zip(scratch.words.iter()) {
+        *v = q.decode(w);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::{AbsQuantizer, PassthroughQuantizer, Quantizer, RelQuantizer};
+
+    fn roundtrip_abs(vals: &[f32], eb: f32) {
+        let q = AbsQuantizer::<f32>::new(eb).unwrap();
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        let info = compress_chunk(&q, vals, &mut scratch, &mut out);
+        let mut back = vec![0f32; vals.len()];
+        decompress_chunk(&q, &out, info.raw, &mut back, &mut scratch).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= eb, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn smooth_chunk_compresses() {
+        let vals: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.001).sin()).collect();
+        let q = AbsQuantizer::<f32>::new(1e-3).unwrap();
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        let info = compress_chunk(&q, &vals, &mut scratch, &mut out);
+        assert!(!info.raw);
+        assert!(
+            out.len() < vals.len() * 4 / 3,
+            "smooth data should compress ≥3x, got {} bytes",
+            out.len()
+        );
+        roundtrip_abs(&vals, 1e-3);
+    }
+
+    #[test]
+    fn random_chunk_falls_back_to_raw() {
+        // White noise over the full float range is incompressible.
+        let mut x = 0x12345678u64;
+        let vals: Vec<f32> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f32::from_bits((x as u32 & 0x7FFF_FFFF) % 0x7F00_0000)
+            })
+            .collect();
+        let q = RelQuantizer::<f32>::new(1e-7).unwrap(); // tiny bound → mostly lossless words
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        let info = compress_chunk(&q, &vals, &mut scratch, &mut out);
+        assert!(info.raw, "incompressible chunk must be stored raw");
+        assert_eq!(out.len(), 4096 * 4, "raw chunk caps expansion");
+        let mut back = vec![0f32; vals.len()];
+        decompress_chunk(&q, &out, true, &mut back, &mut scratch).unwrap();
+        assert_eq!(
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partial_chunk() {
+        let vals: Vec<f32> = (0..123).map(|i| i as f32 * 0.5).collect();
+        roundtrip_abs(&vals, 1e-2);
+    }
+
+    #[test]
+    fn empty_chunk() {
+        roundtrip_abs(&[], 1e-2);
+    }
+
+    #[test]
+    fn passthrough_chunk_bit_exact() {
+        let vals: Vec<f64> = (0..2048).map(|i| (i as f64).sqrt()).collect();
+        let q = PassthroughQuantizer;
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        let info = compress_chunk(&q, &vals, &mut scratch, &mut out);
+        let mut back = vec![0f64; vals.len()];
+        decompress_chunk(&q, &out, info.raw, &mut back, &mut scratch).unwrap();
+        assert_eq!(
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lossless_count_reported() {
+        // Mix quantizable values with NaNs/infs that must go lossless.
+        let mut vals: Vec<f32> = (0..1000).map(|i| (i as f32) * 1e-4).collect();
+        vals[10] = f32::NAN;
+        vals[20] = f32::INFINITY;
+        vals[30] = 1e30; // bin overflow
+        let q = AbsQuantizer::<f32>::new(1e-3).unwrap();
+        let mut scratch = Scratch::default();
+        let mut out = Vec::new();
+        let info = compress_chunk(&q, &vals, &mut scratch, &mut out);
+        assert!(!info.raw);
+        // At least the 3 specials; a handful of boundary values additionally
+        // fail the exact verification (the §III-B mis-rounding phenomenon
+        // PFPL exists to catch) and also count as lossless.
+        assert!(
+            (3..20).contains(&info.lossless_values),
+            "lossless_values = {}",
+            info.lossless_values
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! Top-level compression and decompression entry points.
+//!
+//! The serial and parallel paths (and the simulated-GPU path in
+//! `pfpl-device-sim`) produce **bit-for-bit identical** archives: chunking
+//! makes the work units independent, and every arithmetic operation in the
+//! pipeline is IEEE-exact, so only scheduling differs.
+
+use crate::chunk::{self, Scratch};
+use crate::container::{chunk_offsets, Header, RAW_FLAG};
+use crate::error::{Error, Result};
+use crate::float::{bound_toward_zero, PfplFloat, Word};
+use crate::quantize::{
+    derive_noa_bound, AbsQuantizer, NoaBound, PassthroughQuantizer, Quantizer, RelQuantizer,
+};
+use crate::stats::CompressStats;
+use crate::types::{BoundKind, ErrorBound, Mode};
+use rayon::prelude::*;
+
+/// Compress a slice of values under the given error bound.
+///
+/// See [`ErrorBound`] for the three bound types and [`Mode`] for the
+/// execution policy. The returned archive decompresses on any PFPL
+/// implementation (serial, parallel, simulated GPU) to identical bytes.
+pub fn compress<F: PfplFloat>(data: &[F], bound: ErrorBound, mode: Mode) -> Result<Vec<u8>> {
+    compress_with_stats(data, bound, mode).map(|(a, _)| a)
+}
+
+/// [`compress`] plus per-run statistics (lossless-fallback counts, raw
+/// chunks, sizes).
+pub fn compress_with_stats<F: PfplFloat>(
+    data: &[F],
+    bound: ErrorBound,
+    mode: Mode,
+) -> Result<(Vec<u8>, CompressStats)> {
+    let eb = bound.value();
+    if !(eb > 0.0) || !eb.is_finite() {
+        return Err(Error::InvalidErrorBound(format!(
+            "bound must be finite and > 0; got {eb}"
+        )));
+    }
+    let eb_f: F = bound_toward_zero(eb);
+    match bound {
+        ErrorBound::Abs(_) => {
+            let q = AbsQuantizer::new(eb_f)?;
+            run_compress(data, &q, bound, q.bound().to_f64(), false, mode)
+        }
+        ErrorBound::Rel(_) => {
+            let q = RelQuantizer::new(eb_f)?;
+            run_compress(data, &q, bound, q.bound().to_f64(), false, mode)
+        }
+        ErrorBound::Noa(_) => match derive_noa_bound(data, eb_f) {
+            NoaBound::Abs(abs_eb) => {
+                let q = AbsQuantizer::new(abs_eb)?;
+                run_compress(data, &q, bound, abs_eb.to_f64(), false, mode)
+            }
+            NoaBound::Passthrough => {
+                run_compress(data, &PassthroughQuantizer, bound, 0.0, true, mode)
+            }
+        },
+    }
+}
+
+fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
+    data: &[F],
+    q: &Q,
+    bound: ErrorBound,
+    derived: f64,
+    passthrough: bool,
+    mode: Mode,
+) -> Result<(Vec<u8>, CompressStats)> {
+    let vpc = chunk::values_per_chunk::<F>();
+    let nchunks = data.len().div_ceil(vpc);
+    if nchunks > (RAW_FLAG - 1) as usize {
+        return Err(Error::Corrupt(format!(
+            "input too large: {nchunks} chunks exceed the 31-bit chunk counter"
+        )));
+    }
+
+    // Compress all chunks (each into its own buffer in parallel mode; the
+    // serial path reuses one scratch set, mirroring the paper's L1-resident
+    // double buffer).
+    let results: Vec<(Vec<u8>, chunk::ChunkInfo)> = match mode {
+        Mode::Serial => {
+            let mut scratch = Scratch::default();
+            data.chunks(vpc)
+                .map(|c| {
+                    let mut out = Vec::new();
+                    let info = chunk::compress_chunk(q, c, &mut scratch, &mut out);
+                    (out, info)
+                })
+                .collect()
+        }
+        Mode::Parallel => data
+            .par_chunks(vpc)
+            .map_init(Scratch::default, |scratch, c| {
+                let mut out = Vec::new();
+                let info = chunk::compress_chunk(q, c, scratch, &mut out);
+                (out, info)
+            })
+            .collect(),
+    };
+
+    let mut sizes = Vec::with_capacity(nchunks);
+    let mut lossless = 0u64;
+    let mut raw_chunks = 0u64;
+    let mut payload_len = 0usize;
+    for (buf, info) in &results {
+        let mut s = buf.len() as u32;
+        if info.raw {
+            s |= RAW_FLAG;
+            raw_chunks += 1;
+        }
+        sizes.push(s);
+        lossless += info.lossless_values;
+        payload_len += buf.len();
+    }
+
+    let header = Header {
+        precision: F::PRECISION,
+        kind: bound.kind(),
+        passthrough,
+        user_bound: bound.value(),
+        derived_bound: derived,
+        count: data.len() as u64,
+        chunk_count: nchunks as u32,
+    };
+    let mut archive =
+        Vec::with_capacity(crate::container::HEADER_LEN + 4 * nchunks + payload_len);
+    header.write(&sizes, &mut archive);
+    for (buf, _) in &results {
+        archive.extend_from_slice(buf);
+    }
+
+    let stats = CompressStats {
+        total_values: data.len() as u64,
+        lossless_values: lossless,
+        chunks: nchunks as u64,
+        raw_chunks,
+        input_bytes: (data.len() * (F::Bits::BITS as usize / 8)) as u64,
+        output_bytes: archive.len() as u64,
+    };
+    Ok((archive, stats))
+}
+
+/// Decompress an archive produced by [`compress`] (any implementation).
+pub fn decompress<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
+    let (header, sizes, payload_start) = Header::read(archive)?;
+    if header.precision != F::PRECISION {
+        return Err(Error::PrecisionMismatch {
+            archive: header.precision,
+            requested: F::PRECISION,
+        });
+    }
+    let payload = &archive[payload_start..];
+    let offsets = chunk_offsets(&sizes, payload.len())?;
+    let vpc = chunk::values_per_chunk::<F>();
+    let count = header.count as usize;
+    if count.div_ceil(vpc) != header.chunk_count as usize {
+        return Err(Error::Corrupt(format!(
+            "count {count} inconsistent with {} chunks",
+            header.chunk_count
+        )));
+    }
+
+    let derived = F::from_f64(header.derived_bound);
+    // Build the quantizer the encoder used; `derived_bound` is exactly
+    // representable in F by construction.
+    enum Dec<F: PfplFloat> {
+        Abs(AbsQuantizer<F>),
+        Rel(RelQuantizer<F>),
+        Pass(PassthroughQuantizer),
+    }
+    let dec: Dec<F> = if header.passthrough {
+        Dec::Pass(PassthroughQuantizer)
+    } else {
+        match header.kind {
+            BoundKind::Abs | BoundKind::Noa => Dec::Abs(AbsQuantizer::new(derived)?),
+            BoundKind::Rel => Dec::Rel(RelQuantizer::new(derived)?),
+        }
+    };
+
+    let mut out = vec![F::ZERO; count];
+    let work = |(i, vals): (usize, &mut [F]), scratch: &mut Scratch<F>| -> Result<()> {
+        let p = &payload[offsets[i]..offsets[i + 1]];
+        let raw = sizes[i] & RAW_FLAG != 0;
+        match &dec {
+            Dec::Abs(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
+            Dec::Rel(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
+            Dec::Pass(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
+        }
+    };
+
+    match mode {
+        Mode::Serial => {
+            let mut scratch = Scratch::default();
+            for item in out.chunks_mut(vpc).enumerate() {
+                work(item, &mut scratch)?;
+            }
+        }
+        Mode::Parallel => {
+            out.par_chunks_mut(vpc)
+                .enumerate()
+                .map_init(Scratch::default, |scratch, (i, vals)| {
+                    work((i, vals), scratch)
+                })
+                .collect::<Result<Vec<()>>>()?;
+        }
+    }
+    Ok(out)
+}
+
+/// Compress single-precision data. See [`compress`].
+pub fn compress_f32(data: &[f32], bound: ErrorBound, mode: Mode) -> Result<Vec<u8>> {
+    compress(data, bound, mode)
+}
+
+/// Compress double-precision data. See [`compress`].
+pub fn compress_f64(data: &[f64], bound: ErrorBound, mode: Mode) -> Result<Vec<u8>> {
+    compress(data, bound, mode)
+}
+
+/// Decompress single-precision data. See [`decompress`].
+pub fn decompress_f32(archive: &[u8], mode: Mode) -> Result<Vec<f32>> {
+    decompress(archive, mode)
+}
+
+/// Decompress double-precision data. See [`decompress`].
+pub fn decompress_f64(archive: &[u8], mode: Mode) -> Result<Vec<f64>> {
+    decompress(archive, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_f32(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.0021).sin() * 40.0 + (i as f32 * 0.00013).cos() * 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn abs_roundtrip_within_bound() {
+        let data = smooth_f32(100_000);
+        for &eb in &[1e-1f64, 1e-2, 1e-3, 1e-4] {
+            let arch = compress(&data, ErrorBound::Abs(eb), Mode::Serial).unwrap();
+            let back: Vec<f32> = decompress(&arch, Mode::Serial).unwrap();
+            assert_eq!(back.len(), data.len());
+            for (a, b) in data.iter().zip(&back) {
+                assert!((*a as f64 - *b as f64).abs() <= eb);
+            }
+            assert!(arch.len() < data.len() * 4, "must compress at eb={eb}");
+        }
+    }
+
+    #[test]
+    fn serial_parallel_identical() {
+        let data = smooth_f32(300_000);
+        for bound in [
+            ErrorBound::Abs(1e-3),
+            ErrorBound::Rel(1e-3),
+            ErrorBound::Noa(1e-3),
+        ] {
+            let a = compress(&data, bound, Mode::Serial).unwrap();
+            let b = compress(&data, bound, Mode::Parallel).unwrap();
+            assert_eq!(a, b, "modes must agree for {bound:?}");
+            let da: Vec<f32> = decompress(&a, Mode::Serial).unwrap();
+            let db: Vec<f32> = decompress(&b, Mode::Parallel).unwrap();
+            assert_eq!(
+                da.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                db.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn rel_roundtrip_within_bound() {
+        let data: Vec<f64> = (0..50_000)
+            .map(|i| ((i as f64 * 0.001).sin() + 1.5) * 10f64.powi((i % 7) as i32 - 3))
+            .collect();
+        let eb = 1e-3;
+        let arch = compress(&data, ErrorBound::Rel(eb), Mode::Parallel).unwrap();
+        let back: Vec<f64> = decompress(&arch, Mode::Parallel).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!(((a - b) / a).abs() <= eb, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn noa_roundtrip_within_bound() {
+        let data = smooth_f32(80_000);
+        let (lo, hi) = data
+            .iter()
+            .fold((f32::MAX, f32::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let range = (hi - lo) as f64;
+        let eb = 1e-3;
+        let arch = compress(&data, ErrorBound::Noa(eb), Mode::Serial).unwrap();
+        let back: Vec<f32> = decompress(&arch, Mode::Serial).unwrap();
+        for (a, b) in data.iter().zip(&back) {
+            assert!((*a as f64 - *b as f64).abs() <= eb * range * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn noa_constant_input_passthrough() {
+        let data = vec![42.5f32; 10_000];
+        let arch = compress(&data, ErrorBound::Noa(1e-2), Mode::Serial).unwrap();
+        let back: Vec<f32> = decompress(&arch, Mode::Serial).unwrap();
+        assert!(back.iter().all(|&v| v == 42.5));
+        // Constant data compresses extremely well even in passthrough.
+        assert!(arch.len() < data.len(), "archive {} bytes", arch.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        let arch = compress::<f32>(&[], ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        let back: Vec<f32> = decompress(&arch, Mode::Parallel).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn precision_mismatch_detected() {
+        let arch = compress(&[1.0f32, 2.0], ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        assert!(matches!(
+            decompress::<f64>(&arch, Mode::Serial),
+            Err(Error::PrecisionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_archives_rejected_not_panicking() {
+        let data = smooth_f32(10_000);
+        let arch = compress(&data, ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        // Truncations at various points must error, never panic.
+        for cut in [0, 10, 35, 36, 40, arch.len() / 2, arch.len() - 1] {
+            let _ = decompress::<f32>(&arch[..cut], Mode::Serial);
+        }
+        // Flip bytes in the size table region.
+        let mut bad = arch.clone();
+        bad[37] ^= 0xFF;
+        let _ = decompress::<f32>(&bad, Mode::Serial);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut data = smooth_f32(50_000);
+        data[123] = f32::NAN;
+        data[456] = f32::INFINITY;
+        let (arch, stats) =
+            compress_with_stats(&data, ErrorBound::Abs(1e-3), Mode::Parallel).unwrap();
+        assert_eq!(stats.total_values, 50_000);
+        assert!(stats.lossless_values >= 2);
+        assert_eq!(stats.output_bytes as usize, arch.len());
+        assert_eq!(stats.input_bytes, 200_000);
+        assert!(stats.ratio() > 1.0);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let mut data = smooth_f32(5_000);
+        data[0] = f32::NAN;
+        data[1] = f32::NEG_INFINITY;
+        data[2] = f32::INFINITY;
+        data[3] = -0.0;
+        data[4] = f32::from_bits(0x0000_0001); // denormal
+        let arch = compress(&data, ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        let back: Vec<f32> = decompress(&arch, Mode::Serial).unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f32::NEG_INFINITY);
+        assert_eq!(back[2], f32::INFINITY);
+        assert!((back[3]).abs() <= 1e-3);
+        assert!((back[4] as f64 - data[4] as f64).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn f64_all_bounds_roundtrip() {
+        let data: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.01).cos() * 100.0).collect();
+        for bound in [
+            ErrorBound::Abs(1e-6),
+            ErrorBound::Rel(1e-6),
+            ErrorBound::Noa(1e-6),
+        ] {
+            let arch = compress(&data, bound, Mode::Parallel).unwrap();
+            let back: Vec<f64> = decompress(&arch, Mode::Parallel).unwrap();
+            assert_eq!(back.len(), data.len());
+            match bound {
+                ErrorBound::Abs(eb) => {
+                    for (a, b) in data.iter().zip(&back) {
+                        assert!((a - b).abs() <= eb);
+                    }
+                }
+                ErrorBound::Rel(eb) => {
+                    for (a, b) in data.iter().zip(&back) {
+                        assert!(((a - b) / a).abs() <= eb || a == b);
+                    }
+                }
+                ErrorBound::Noa(eb) => {
+                    let span = 200.0; // cos * 100 → range 200
+                    for (a, b) in data.iter().zip(&back) {
+                        assert!((a - b).abs() <= eb * span * 1.01);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_bounds_error() {
+        let data = [1.0f32];
+        for b in [
+            ErrorBound::Abs(0.0),
+            ErrorBound::Abs(-1.0),
+            ErrorBound::Abs(f64::NAN),
+            ErrorBound::Abs(f64::INFINITY),
+            ErrorBound::Rel(0.0),
+            ErrorBound::Noa(-0.5),
+        ] {
+            assert!(compress(&data, b, Mode::Serial).is_err(), "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Archive container format.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "PFPL" (little-endian 0x4C50_4650)
+//! 4       2     version (currently 1)
+//! 6       1     flags: bit0 = precision (0 f32 / 1 f64),
+//!               bits1-2 = bound kind (ABS/REL/NOA), bit3 = passthrough
+//! 7       1     reserved (0)
+//! 8       8     user error bound (f64 bits)
+//! 16      8     derived bound actually used by the quantizer, widened to
+//!               f64 (for NOA this is eb*(max-min); 0 in passthrough mode)
+//! 24      8     value count (u64)
+//! 32      4     chunk count (u32)
+//! 36      4*c   per-chunk payload sizes; bit 31 flags a raw chunk
+//! 36+4c   ...   concatenated chunk payloads
+//! ```
+//!
+//! The per-chunk size table is the serialization of the paper's
+//! "concatenated compressed chunks whose sizes are separately stored"; the
+//! decoder prefix-sums it to find each chunk's offset, which is what makes
+//! decompression chunk-parallel (§III-E).
+
+use crate::error::{Error, Result};
+use crate::types::{BoundKind, Precision};
+
+/// Magic number ("PFPL" as little-endian bytes).
+pub const MAGIC: u32 = u32::from_le_bytes(*b"PFPL");
+/// Container format version.
+pub const VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 36;
+/// Flag bit marking a chunk as raw in the size table.
+pub const RAW_FLAG: u32 = 1 << 31;
+
+/// Parsed archive header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Data precision.
+    pub precision: Precision,
+    /// Error-bound type.
+    pub kind: BoundKind,
+    /// True when NOA degenerated to lossless passthrough (zero range).
+    pub passthrough: bool,
+    /// The user-requested bound (as supplied, in f64).
+    pub user_bound: f64,
+    /// The bound the quantizer actually used, in the data's precision
+    /// (exactly representable; widened to f64 for storage).
+    pub derived_bound: f64,
+    /// Number of values in the archive.
+    pub count: u64,
+    /// Number of chunks.
+    pub chunk_count: u32,
+}
+
+impl Header {
+    /// Serialize the header and size table into `out`.
+    pub fn write(&self, sizes: &[u32], out: &mut Vec<u8>) {
+        debug_assert_eq!(sizes.len(), self.chunk_count as usize);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let flags = self.precision.tag()
+            | (self.kind.tag() << 1)
+            | ((self.passthrough as u8) << 3);
+        out.push(flags);
+        out.push(0);
+        out.extend_from_slice(&self.user_bound.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.derived_bound.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.chunk_count.to_le_bytes());
+        for &s in sizes {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+    }
+
+    /// Parse a header and size table; returns the header, the size table,
+    /// and the offset at which chunk payloads begin.
+    pub fn read(buf: &[u8]) -> Result<(Header, Vec<u32>, usize)> {
+        if buf.len() < HEADER_LEN {
+            return Err(Error::BadHeader(format!(
+                "archive too short: {} bytes",
+                buf.len()
+            )));
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(Error::BadHeader(format!("bad magic {magic:#010x}")));
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(Error::BadHeader(format!("unsupported version {version}")));
+        }
+        let flags = buf[6];
+        let precision = Precision::from_tag(flags & 1).expect("1-bit tag");
+        let kind = BoundKind::from_tag((flags >> 1) & 0b11)
+            .ok_or_else(|| Error::BadHeader(format!("bad bound kind in flags {flags:#04x}")))?;
+        let passthrough = flags >> 3 & 1 == 1;
+        let user_bound = f64::from_bits(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
+        let derived_bound = f64::from_bits(u64::from_le_bytes(buf[16..24].try_into().unwrap()));
+        let count = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        let chunk_count = u32::from_le_bytes(buf[32..36].try_into().unwrap());
+        let table_end = HEADER_LEN + chunk_count as usize * 4;
+        if buf.len() < table_end {
+            return Err(Error::Corrupt(format!(
+                "size table truncated: need {table_end} bytes, have {}",
+                buf.len()
+            )));
+        }
+        let sizes: Vec<u32> = (0..chunk_count as usize)
+            .map(|i| {
+                u32::from_le_bytes(
+                    buf[HEADER_LEN + i * 4..HEADER_LEN + (i + 1) * 4]
+                        .try_into()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let header = Header {
+            precision,
+            kind,
+            passthrough,
+            user_bound,
+            derived_bound,
+            count,
+            chunk_count,
+        };
+        Ok((header, sizes, table_end))
+    }
+}
+
+/// Compute per-chunk payload offsets (exclusive prefix sum of sizes with
+/// the raw flag stripped); verifies the total length.
+pub fn chunk_offsets(sizes: &[u32], payload_len: usize) -> Result<Vec<usize>> {
+    let mut offsets = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0usize;
+    for &s in sizes {
+        offsets.push(acc);
+        acc += (s & !RAW_FLAG) as usize;
+    }
+    offsets.push(acc);
+    if acc != payload_len {
+        return Err(Error::Corrupt(format!(
+            "chunk sizes sum to {acc} but payload is {payload_len} bytes"
+        )));
+    }
+    Ok(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            precision: Precision::Single,
+            kind: BoundKind::Noa,
+            passthrough: false,
+            user_bound: 1e-3,
+            derived_bound: 0.042,
+            count: 123_456,
+            chunk_count: 3,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let sizes = vec![100, 200 | RAW_FLAG, 50];
+        let mut buf = Vec::new();
+        h.write(&sizes, &mut buf);
+        let (h2, sizes2, off) = Header::read(&buf).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(sizes, sizes2);
+        assert_eq!(off, HEADER_LEN + 12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Header::read(&[]).is_err());
+        assert!(Header::read(&[0u8; 36]).is_err());
+        let h = sample_header();
+        let mut buf = Vec::new();
+        h.write(&[1, 2, 3], &mut buf);
+        let mut bad = buf.clone();
+        bad[4] = 99; // version
+        assert!(Header::read(&bad).is_err());
+        let mut bad = buf.clone();
+        bad[6] |= 0b110; // invalid bound kind 3
+        assert!(Header::read(&bad).is_err());
+        assert!(Header::read(&buf[..40]).is_err(), "truncated size table");
+    }
+
+    #[test]
+    fn offsets_checked() {
+        let sizes = [10u32, 20 | RAW_FLAG, 30];
+        let offs = chunk_offsets(&sizes, 60).unwrap();
+        assert_eq!(offs, vec![0, 10, 30, 60]);
+        assert!(chunk_offsets(&sizes, 61).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for compression and decompression.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors reported by PFPL compression and decompression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The user-supplied error bound is not usable (non-finite, non-positive,
+    /// or — for ABS — smaller than the smallest positive normal value of the
+    /// target precision, which the bin encoding requires, §III-B).
+    InvalidErrorBound(String),
+    /// The archive is truncated or structurally malformed.
+    Corrupt(String),
+    /// The archive magic number or version is not recognized.
+    BadHeader(String),
+    /// The archive holds a different precision than the requested decode type.
+    PrecisionMismatch {
+        /// Precision recorded in the archive header.
+        archive: crate::types::Precision,
+        /// Precision requested by the caller.
+        requested: crate::types::Precision,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidErrorBound(msg) => write!(f, "invalid error bound: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt archive: {msg}"),
+            Error::BadHeader(msg) => write!(f, "bad archive header: {msg}"),
+            Error::PrecisionMismatch { archive, requested } => write!(
+                f,
+                "precision mismatch: archive holds {archive:?}, caller requested {requested:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,88 @@
+//! Negabinary (base −2) re-coding of two's-complement residuals.
+//!
+//! The first lossless stage stores delta residuals in negabinary because
+//! small *positive and negative* values alike then have many leading zero
+//! bits (paper §III-D, Fig. 3) — unlike two's complement, where small
+//! negative values are all leading ones. The later bit-shuffle and zero-byte
+//! elimination stages exploit those zeros.
+//!
+//! The conversion uses Schroeppel's identity: with `M = 0b…1010`,
+//! `nb = (x + M) ^ M` maps two's complement to negabinary and
+//! `x = (nb ^ M) − M` maps back (both with wrapping arithmetic). The mapping
+//! is a bijection on the full word, so the stage is trivially lossless.
+
+use super::Word;
+
+/// Two's complement → negabinary.
+#[inline(always)]
+pub fn encode<W: Word>(x: W) -> W {
+    x.wrapping_add(W::NEGA_MASK) ^ W::NEGA_MASK
+}
+
+/// Negabinary → two's complement.
+#[inline(always)]
+pub fn decode<W: Word>(nb: W) -> W {
+    (nb ^ W::NEGA_MASK).wrapping_sub(W::NEGA_MASK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference: interpret `nb`'s bits as base-(−2) digits.
+    fn nega_value_i128(nb: u32) -> i128 {
+        let mut v = 0i128;
+        let mut place = 1i128;
+        for i in 0..32 {
+            if nb >> i & 1 == 1 {
+                v += place;
+            }
+            place *= -2;
+        }
+        v
+    }
+
+    #[test]
+    fn small_values_have_leading_zeros() {
+        // 0, 1, -1, 2, -2 all fit in 3 negabinary digits.
+        for x in [0i32, 1, -1, 2, -2] {
+            let nb = encode(x as u32);
+            assert!(nb < 8, "x={x} nb={nb:#x}");
+        }
+    }
+
+    #[test]
+    fn matches_base_minus_two_semantics() {
+        for x in [-100i32, -3, -2, -1, 0, 1, 2, 3, 100, 12345, -54321] {
+            let nb = encode(x as u32);
+            assert_eq!(nega_value_i128(nb), x as i128, "x={x}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_u32(x: u32) {
+            prop_assert_eq!(decode(encode(x)), x);
+        }
+
+        #[test]
+        fn roundtrip_u64(x: u64) {
+            prop_assert_eq!(decode(encode(x)), x);
+        }
+
+        #[test]
+        fn semantics_u32(x: i32) {
+            // 32 negabinary digits cover an asymmetric range, so the identity
+            // holds modulo 2^32 (the wrapping arithmetic's natural modulus).
+            let got = nega_value_i128(encode(x as u32));
+            prop_assert_eq!(got.rem_euclid(1 << 32), (x as i128).rem_euclid(1 << 32));
+        }
+
+        #[test]
+        fn magnitude_monotone_leading_zeros(x in -1000i32..1000) {
+            // |x| <= 1000 implies the negabinary form fits in 12 bits.
+            prop_assert!(encode(x as u32) < (1 << 12));
+        }
+    }
+}

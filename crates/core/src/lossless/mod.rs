@@ -1,0 +1,21 @@
+//! The three lossless pipeline stages (paper §III-D, Figs. 3–5).
+//!
+//! All three stages were designed (via the LC framework search the paper
+//! describes) to be cheap, branch-light, and implementable with the same
+//! semantics on CPUs and GPUs:
+//!
+//! 1. [`delta`] — difference coding with negabinary residuals (Fig. 3):
+//!    smooth data → residuals near zero → leading zero bits.
+//! 2. [`shuffle`] — bit-plane transposition (Fig. 4): per-word leading
+//!    zeros → long runs of zero *bytes*.
+//! 3. [`zeroelim`] — zero-byte elimination with an iteratively compressed
+//!    bitmap (Fig. 5): the only stage that actually shrinks the data.
+//!
+//! None of the stages compresses much alone; the *sequence* does
+//! ("removing any one of these transformations decreases the compression
+//! ratio by a substantial factor"). Each module exposes encode/decode pairs
+//! that are exact inverses for every input, verified by property tests.
+
+pub mod delta;
+pub mod shuffle;
+pub mod zeroelim;

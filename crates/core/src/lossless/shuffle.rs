@@ -1,0 +1,291 @@
+//! Lossless stage 2: bit shuffle / bit-plane transposition (Fig. 4).
+//!
+//! Emits the most significant bit of every word, then the second-most
+//! significant bit of every word, and so on. Consecutive words with zero
+//! bits in the same positions (which stage 1 manufactures) become long runs
+//! of zero bits — and, after 8+ words, zero *bytes* for stage 3 to delete.
+//!
+//! The hot path processes `BITS`-word groups with a masked-swap bit-matrix
+//! transpose (log2(wordsize) steps — the same step count as the paper's
+//! warp-shuffle GPU implementation); arbitrary lengths fall back to a
+//! scalar path with identical output.
+
+use crate::float::Word;
+
+/// Bit-matrix transpose kernels for `BITS×BITS` blocks.
+pub trait Transpose: Word {
+    /// In-place transpose of a `BITS`-row bit matrix:
+    /// afterwards `block[j]` bit `i` equals the old `block[i]` bit `j`.
+    /// The transform is an involution.
+    fn transpose_block(block: &mut [Self]);
+}
+
+macro_rules! impl_transpose {
+    ($ty:ty, $bits:expr, [$(($s:expr, $m:expr)),+]) => {
+        impl Transpose for $ty {
+            fn transpose_block(block: &mut [Self]) {
+                debug_assert_eq!(block.len(), $bits);
+                $(
+                    // Masked swap at stride $s: mask has ones where
+                    // bit_index & stride == 0.
+                    {
+                        const S: usize = $s;
+                        const M: $ty = $m;
+                        let mut k = 0;
+                        while k < $bits {
+                            let (a, b) = block.split_at_mut(k + S);
+                            for (x, y) in a[k..].iter_mut().zip(&mut b[..S]) {
+                                let t = ((*x >> S as u32) ^ *y) & M;
+                                *x ^= t << S as u32;
+                                *y ^= t;
+                            }
+                            k += 2 * S;
+                        }
+                    }
+                )+
+            }
+        }
+    };
+}
+
+impl_transpose!(
+    u32,
+    32,
+    [
+        (16usize, 0x0000_FFFFu32),
+        (8, 0x00FF_00FF),
+        (4, 0x0F0F_0F0F),
+        (2, 0x3333_3333),
+        (1, 0x5555_5555)
+    ]
+);
+impl_transpose!(
+    u64,
+    64,
+    [
+        (32usize, 0x0000_0000_FFFF_FFFFu64),
+        (16, 0x0000_FFFF_0000_FFFF),
+        (8, 0x00FF_00FF_00FF_00FF),
+        (4, 0x0F0F_0F0F_0F0F_0F0F),
+        (2, 0x3333_3333_3333_3333),
+        (1, 0x5555_5555_5555_5555)
+    ]
+);
+
+/// Forward bit shuffle: `words.len() * BITS / 8` bytes are written into
+/// `out` (which must be exactly that long and zeroed by this function).
+pub fn encode<W: Transpose>(words: &[W], out: &mut [u8]) {
+    let n = words.len();
+    let bits = W::BITS as usize;
+    assert_eq!(out.len(), n * bits / 8, "output buffer size");
+    out.fill(0);
+    if n % bits == 0 && n > 0 {
+        encode_fast(words, out);
+    } else {
+        encode_scalar(words, out);
+    }
+}
+
+fn encode_scalar<W: Word>(words: &[W], out: &mut [u8]) {
+    let bits = W::BITS;
+    let mut bitpos = 0usize;
+    for p in 0..bits {
+        let shift = bits - 1 - p;
+        for &w in words {
+            if (w >> shift) & W::ONE == W::ONE {
+                out[bitpos >> 3] |= 1 << (bitpos & 7);
+            }
+            bitpos += 1;
+        }
+    }
+}
+
+fn encode_fast<W: Transpose>(words: &[W], out: &mut [u8]) {
+    let bits = W::BITS as usize;
+    let n = words.len();
+    let plane_bytes = n / 8;
+    let word_bytes = bits / 8;
+    let mut block = vec![W::ZERO; bits];
+    for g in 0..n / bits {
+        block.copy_from_slice(&words[g * bits..(g + 1) * bits]);
+        W::transpose_block(&mut block);
+        for p in 0..bits {
+            let t = block[bits - 1 - p];
+            let off = p * plane_bytes + g * word_bytes;
+            t.write_le(&mut out[off..off + word_bytes]);
+        }
+    }
+}
+
+/// Inverse bit shuffle: reconstruct `words` from `bytes`
+/// (`bytes.len() == words.len() * BITS / 8`).
+pub fn decode<W: Transpose>(bytes: &[u8], words: &mut [W]) {
+    let n = words.len();
+    let bits = W::BITS as usize;
+    assert_eq!(bytes.len(), n * bits / 8, "input buffer size");
+    if n % bits == 0 && n > 0 {
+        decode_fast(bytes, words);
+    } else {
+        decode_scalar(bytes, words);
+    }
+}
+
+fn decode_scalar<W: Word>(bytes: &[u8], words: &mut [W]) {
+    for w in words.iter_mut() {
+        *w = W::ZERO;
+    }
+    let bits = W::BITS;
+    let mut bitpos = 0usize;
+    for p in 0..bits {
+        let shift = bits - 1 - p;
+        for w in words.iter_mut() {
+            if bytes[bitpos >> 3] >> (bitpos & 7) & 1 == 1 {
+                *w = *w | (W::ONE << shift);
+            }
+            bitpos += 1;
+        }
+    }
+}
+
+fn decode_fast<W: Transpose>(bytes: &[u8], words: &mut [W]) {
+    let bits = W::BITS as usize;
+    let n = words.len();
+    let plane_bytes = n / 8;
+    let word_bytes = bits / 8;
+    let mut block = vec![W::ZERO; bits];
+    for g in 0..n / bits {
+        for p in 0..bits {
+            let off = p * plane_bytes + g * word_bytes;
+            block[bits - 1 - p] = W::read_le(&bytes[off..off + word_bytes]);
+        }
+        W::transpose_block(&mut block);
+        words[g * bits..(g + 1) * bits].copy_from_slice(&block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transpose_is_transpose() {
+        let mut block: Vec<u32> = (0..32).map(|i| 0x9E37_79B9u32.rotate_left(i)).collect();
+        let orig = block.clone();
+        u32::transpose_block(&mut block);
+        for i in 0..32 {
+            for j in 0..32 {
+                assert_eq!(
+                    block[j] >> i & 1,
+                    orig[i] >> j & 1,
+                    "transpose mismatch at ({i},{j})"
+                );
+            }
+        }
+        u32::transpose_block(&mut block);
+        assert_eq!(block, orig, "involution");
+    }
+
+    #[test]
+    fn transpose64_involution() {
+        let mut block: Vec<u64> = (0..64)
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i))
+            .collect();
+        let orig = block.clone();
+        u64::transpose_block(&mut block);
+        for i in 0..64 {
+            for j in 0..64 {
+                assert_eq!(block[j] >> i & 1, orig[i] >> j & 1);
+            }
+        }
+        u64::transpose_block(&mut block);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn planes_are_msb_first() {
+        // Word 0 = only its MSB set → the very first output bit is 1.
+        let words = [0x8000_0000u32, 0, 0, 0, 0, 0, 0, 0];
+        let mut out = vec![0u8; 32];
+        encode(&words, &mut out);
+        assert_eq!(out[0], 0b0000_0001);
+        assert!(out[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn shared_zero_bits_make_zero_bytes() {
+        // 4096 words that all fit in 8 low bits → 24 of 32 planes all-zero
+        // → at least 75% zero bytes.
+        let words: Vec<u32> = (0..4096u32).map(|i| i % 200).collect();
+        let mut out = vec![0u8; 4096 * 4];
+        encode(&words, &mut out);
+        let zeros = out.iter().filter(|&&b| b == 0).count();
+        assert!(zeros >= out.len() * 3 / 4, "{zeros}/{}", out.len());
+    }
+
+    fn roundtrip_u32(words: &[u32]) {
+        let mut buf = vec![0u8; words.len() * 4];
+        encode(words, &mut buf);
+        let mut back = vec![0u32; words.len()];
+        decode(&buf, &mut back);
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for n in [0usize, 1, 7, 31, 32, 33, 63, 64, 100, 4096, 4100] {
+            let words: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+            roundtrip_u32(&words);
+        }
+    }
+
+    #[test]
+    fn fast_matches_scalar() {
+        let words: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let mut fast = vec![0u8; words.len() * 4];
+        encode(&words, &mut fast);
+        let mut scalar = vec![0u8; words.len() * 4];
+        encode_scalar(&words, &mut scalar);
+        assert_eq!(fast, scalar);
+
+        let w64: Vec<u64> = (0..2048u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let mut fast = vec![0u8; w64.len() * 8];
+        encode(&w64, &mut fast);
+        let mut scalar = vec![0u8; w64.len() * 8];
+        encode_scalar(&w64, &mut scalar);
+        assert_eq!(fast, scalar);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop_u32(words: Vec<u32>) {
+            roundtrip_u32(&words);
+        }
+
+        #[test]
+        fn roundtrip_prop_u64(words: Vec<u64>) {
+            let mut buf = vec![0u8; words.len() * 8];
+            encode(&words, &mut buf);
+            let mut back = vec![0u64; words.len()];
+            decode(&buf, &mut back);
+            prop_assert_eq!(back, words);
+        }
+
+        #[test]
+        fn fast_equals_scalar_prop(seed: u64, groups in 1usize..4) {
+            let n = groups * 32;
+            let mut x = seed | 1;
+            let words: Vec<u32> = (0..n).map(|_| {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                x as u32
+            }).collect();
+            let mut fast = vec![0u8; n * 4];
+            encode(&words, &mut fast);
+            let mut scalar = vec![0u8; n * 4];
+            encode_scalar(&words, &mut scalar);
+            prop_assert_eq!(fast, scalar);
+        }
+    }
+}

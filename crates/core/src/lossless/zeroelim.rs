@@ -1,0 +1,299 @@
+//! Lossless stage 3: zero-byte elimination with iterated bitmap
+//! compression (Fig. 5). This is the only stage that actually shrinks data.
+//!
+//! A bitmap flags the nonzero bytes of the input (one bit per byte); zero
+//! bytes are dropped. The bitmap itself — a fixed 1/8 of the input — is then
+//! compressed by the *repeat* variant of the same idea: a second, 8×-smaller
+//! bitmap flags which bitmap bytes differ from their predecessor, and only
+//! those are emitted. That repeat step is applied [`LEVELS`] (4) times, so a
+//! 16 KiB chunk's final bitmap is a single byte.
+//!
+//! Serialized layout (all sizes derivable from the uncompressed length):
+//!
+//! ```text
+//! [bitmap_4][nonrep_4][nonrep_3][nonrep_2][nonrep_1][nonzero data bytes]
+//! ```
+//!
+//! where `nonrep_k` are the non-repeating bytes of `bitmap_{k-1}` flagged by
+//! `bitmap_k` (predecessor initialized to zero at each level).
+
+use crate::error::{Error, Result};
+
+/// Number of repeat-elimination rounds applied to the bitmap (paper: 4).
+pub const LEVELS: usize = 4;
+
+fn bitmap_len(n: usize) -> usize {
+    n.div_ceil(8)
+}
+
+/// Flag nonzero bytes of `src` into a fresh bitmap and append the nonzero
+/// bytes themselves to `data`. Processes 8 bytes per step with a SWAR
+/// nonzero-byte mask; all-zero and all-nonzero groups take fast paths
+/// (zero groups dominate for compressible data).
+fn build_nonzero(src: &[u8], data: &mut Vec<u8>) -> Vec<u8> {
+    let mut bitmap = vec![0u8; bitmap_len(src.len())];
+    let mut chunks = src.chunks_exact(8);
+    let mut bi = 0usize;
+    for chunk in &mut chunks {
+        let x = u64::from_le_bytes(chunk.try_into().unwrap());
+        let mask = nonzero_byte_mask(x);
+        bitmap[bi] = mask;
+        if mask == 0xFF {
+            data.extend_from_slice(chunk);
+        } else if mask != 0 {
+            for (b, &v) in chunk.iter().enumerate() {
+                if mask >> b & 1 == 1 {
+                    data.push(v);
+                }
+            }
+        }
+        bi += 1;
+    }
+    for (b, &v) in chunks.remainder().iter().enumerate() {
+        if v != 0 {
+            bitmap[bi] |= 1 << b;
+            data.push(v);
+        }
+    }
+    bitmap
+}
+
+/// SWAR: bit `i` of the result is set iff byte `i` of `x` is nonzero.
+#[inline(always)]
+fn nonzero_byte_mask(x: u64) -> u8 {
+    const LOW: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    // bit 7 of each byte set iff the byte is nonzero
+    let m = (((x & LOW).wrapping_add(LOW)) | x) & !LOW;
+    // gather the eight bit-7 indicators into one byte, byte 0 → bit 0
+    ((m >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u8
+}
+
+/// Flag bytes of `src` that differ from their predecessor (predecessor
+/// initialized to 0) and append those bytes to `data`.
+fn build_nonrepeat(src: &[u8], data: &mut Vec<u8>) -> Vec<u8> {
+    let mut bitmap = vec![0u8; bitmap_len(src.len())];
+    let mut prev = 0u8;
+    for (i, &b) in src.iter().enumerate() {
+        if b != prev {
+            bitmap[i >> 3] |= 1 << (i & 7);
+            data.push(b);
+        }
+        prev = b;
+    }
+    bitmap
+}
+
+/// Compress `input` and append the serialized form to `out`.
+pub fn encode(input: &[u8], out: &mut Vec<u8>) {
+    let mut data = Vec::with_capacity(input.len() / 2);
+    let bitmap0 = build_nonzero(input, &mut data);
+    let mut nonreps: Vec<Vec<u8>> = Vec::with_capacity(LEVELS);
+    let mut bitmap = bitmap0;
+    for _ in 0..LEVELS {
+        let mut nr = Vec::new();
+        let next = build_nonrepeat(&bitmap, &mut nr);
+        nonreps.push(nr);
+        bitmap = next;
+    }
+    out.extend_from_slice(&bitmap); // bitmap_LEVELS
+    for nr in nonreps.iter().rev() {
+        out.extend_from_slice(nr);
+    }
+    out.extend_from_slice(&data);
+}
+
+/// Size in bytes of the `k`-th level bitmap for an `n`-byte input
+/// (`k == 0` is the nonzero bitmap).
+fn level_len(n: usize, k: usize) -> usize {
+    let mut len = n;
+    for _ in 0..=k {
+        len = bitmap_len(len);
+    }
+    len
+}
+
+fn popcount_prefix(bitmap: &[u8], nbits: usize) -> usize {
+    let full = nbits / 8;
+    let mut c: usize = bitmap[..full].iter().map(|b| b.count_ones() as usize).sum();
+    if nbits % 8 != 0 {
+        c += (bitmap[full] & ((1u8 << (nbits % 8)) - 1)).count_ones() as usize;
+    }
+    c
+}
+
+/// Reconstruct a lower-level byte array of length `n` from its flag bitmap
+/// and the flagged bytes, using `rule` to produce unflagged bytes from the
+/// running predecessor.
+fn expand(
+    bitmap: &[u8],
+    n: usize,
+    payload: &[u8],
+    cursor: &mut usize,
+    repeat_rule: bool,
+) -> Result<Vec<u8>> {
+    let needed = popcount_prefix(bitmap, n);
+    let avail = payload.len().saturating_sub(*cursor);
+    if needed > avail {
+        return Err(Error::Corrupt(format!(
+            "zero-elimination payload truncated: need {needed} bytes, have {avail}"
+        )));
+    }
+    let mut out = vec![0u8; n];
+    if repeat_rule {
+        let mut prev = 0u8;
+        for (i, slot) in out.iter_mut().enumerate() {
+            if bitmap[i >> 3] >> (i & 7) & 1 == 1 {
+                *slot = payload[*cursor];
+                *cursor += 1;
+            } else {
+                *slot = prev;
+            }
+            prev = *slot;
+        }
+    } else {
+        // Zero-fill rule: group-at-a-time fast paths (zero groups are
+        // already zeroed; full groups are straight copies).
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let mask = bitmap[i >> 3];
+            if mask == 0 {
+                i += 8;
+                continue;
+            }
+            if mask == 0xFF {
+                out[i..i + 8].copy_from_slice(&payload[*cursor..*cursor + 8]);
+                *cursor += 8;
+                i += 8;
+                continue;
+            }
+            for b in 0..8 {
+                if mask >> b & 1 == 1 {
+                    out[i + b] = payload[*cursor];
+                    *cursor += 1;
+                }
+            }
+            i += 8;
+        }
+        while i < n {
+            if bitmap[i >> 3] >> (i & 7) & 1 == 1 {
+                out[i] = payload[*cursor];
+                *cursor += 1;
+            }
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Decompress a payload produced by [`encode`] for an input of
+/// `uncompressed_len` bytes. Returns the reconstructed bytes and the number
+/// of payload bytes consumed.
+pub fn decode(payload: &[u8], uncompressed_len: usize) -> Result<(Vec<u8>, usize)> {
+    let n = uncompressed_len;
+    let top_len = level_len(n, LEVELS);
+    if payload.len() < top_len {
+        return Err(Error::Corrupt(format!(
+            "zero-elimination payload shorter than top bitmap ({} < {top_len})",
+            payload.len()
+        )));
+    }
+    let mut bitmap = payload[..top_len].to_vec();
+    let mut cursor = top_len;
+    // Walk back down: bitmap_k flags the non-repeating bytes of bitmap_{k-1}.
+    for k in (0..LEVELS).rev() {
+        let lower_n = level_len(n, k);
+        bitmap = expand(&bitmap, lower_n, payload, &mut cursor, true)?;
+    }
+    // bitmap is now the nonzero-byte bitmap of the original data.
+    let out = expand(&bitmap, n, payload, &mut cursor, false)?;
+    Ok((out, cursor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(input: &[u8]) -> usize {
+        let mut enc = Vec::new();
+        encode(input, &mut enc);
+        let (dec, used) = decode(&enc, input.len()).unwrap();
+        assert_eq!(dec, input);
+        assert_eq!(used, enc.len(), "every payload byte must be consumed");
+        enc.len()
+    }
+
+    #[test]
+    fn all_zero_input_is_tiny() {
+        let size = roundtrip(&vec![0u8; 16384]);
+        // 16 KiB of zeros: bitmap0 all zero → every level all zero →
+        // only the 1-byte top bitmap remains.
+        assert_eq!(size, 1, "all-zero 16 KiB should compress to 1 byte");
+    }
+
+    #[test]
+    fn all_ones_input_overhead_is_small() {
+        let size = roundtrip(&vec![0xFFu8; 16384]);
+        // Data is incompressible (all bytes kept) but bitmaps collapse:
+        // bitmap0 = 2048×0xFF → 1 differing byte, etc.
+        assert!(size <= 16384 + 8, "got {size}");
+    }
+
+    #[test]
+    fn paper_figure_example() {
+        // Fig. 5-style: sparse nonzero bytes.
+        let mut input = vec![0u8; 64];
+        input[3] = 7;
+        input[10] = 255;
+        input[63] = 1;
+        let mut enc = Vec::new();
+        encode(&input, &mut enc);
+        assert!(enc.len() < 64 / 2);
+        let (dec, _) = decode(&enc, 64).unwrap();
+        assert_eq!(dec, input);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(&[]), 0);
+    }
+
+    #[test]
+    fn small_inputs() {
+        for n in 1..64usize {
+            let input: Vec<u8> = (0..n).map(|i| (i * 37 % 256) as u8).collect();
+            roundtrip(&input);
+        }
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let input = vec![1u8; 1000];
+        let mut enc = Vec::new();
+        encode(&input, &mut enc);
+        for cut in [0, 1, enc.len() / 2, enc.len() - 1] {
+            assert!(
+                decode(&enc[..cut], 1000).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(input: Vec<u8>) {
+            roundtrip(&input);
+        }
+
+        #[test]
+        fn roundtrip_sparse(n in 0usize..5000, fills in prop::collection::vec((0usize..5000, 1u8..), 0..40)) {
+            let mut input = vec![0u8; n];
+            for (pos, val) in fills {
+                if pos < n { input[pos] = val; }
+            }
+            let size = roundtrip(&input);
+            // Sparse data must compress well below the raw size + overhead.
+            prop_assert!(size <= n / 8 + 40 + input.iter().filter(|&&b| b != 0).count());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Incremental (streaming) compression and decompression.
+//!
+//! The paper's motivating deployments (§I) compress data *as it is
+//! produced* — instruments and simulations emit values continuously, and
+//! buffering a whole dataset before compressing defeats the purpose.
+//! Because PFPL's chunks are fully independent, the archive can be built
+//! incrementally with only one 16 KiB chunk of input state; this module
+//! provides that interface.
+//!
+//! [`StreamCompressor::finish`] produces **byte-identical** output to
+//! [`crate::compress`] for the same concatenated input (tested), so
+//! streamed archives interoperate with every other implementation.
+//!
+//! NOA is not streamable — its derived bound needs the global value range
+//! before the first chunk is encoded — and is rejected at construction,
+//! matching the paper's observation that only the NOA quantizer needs a
+//! pre-pass (§III-E).
+
+use crate::chunk::{self, Scratch};
+use crate::container::{Header, RAW_FLAG};
+use crate::error::{Error, Result};
+use crate::float::{bound_toward_zero, PfplFloat, Word};
+use crate::quantize::{AbsQuantizer, RelQuantizer};
+use crate::stats::CompressStats;
+use crate::types::{BoundKind, ErrorBound};
+
+enum StreamQuantizer<F: PfplFloat> {
+    Abs(AbsQuantizer<F>),
+    Rel(RelQuantizer<F>),
+}
+
+/// Incremental PFPL encoder: feed values in pushes of any size, collect a
+/// standard archive at the end.
+pub struct StreamCompressor<F: PfplFloat> {
+    q: StreamQuantizer<F>,
+    bound: ErrorBound,
+    derived: f64,
+    pending: Vec<F>,
+    sizes: Vec<u32>,
+    payloads: Vec<u8>,
+    scratch: Scratch<F>,
+    lossless: u64,
+    raw_chunks: u64,
+    total: u64,
+}
+
+impl<F: PfplFloat> StreamCompressor<F> {
+    /// Create a streaming encoder for an ABS or REL bound.
+    ///
+    /// Returns [`Error::InvalidErrorBound`] for NOA (needs the global
+    /// range) or for an unusable bound value.
+    pub fn new(bound: ErrorBound) -> Result<Self> {
+        let eb = bound.value();
+        if !(eb > 0.0) || !eb.is_finite() {
+            return Err(Error::InvalidErrorBound(format!(
+                "bound must be finite and > 0; got {eb}"
+            )));
+        }
+        let eb_f: F = bound_toward_zero(eb);
+        let (q, derived) = match bound.kind() {
+            BoundKind::Abs => {
+                let q = AbsQuantizer::new(eb_f)?;
+                let d = q.bound().to_f64();
+                (StreamQuantizer::Abs(q), d)
+            }
+            BoundKind::Rel => {
+                let q = RelQuantizer::new(eb_f)?;
+                let d = q.bound().to_f64();
+                (StreamQuantizer::Rel(q), d)
+            }
+            BoundKind::Noa => {
+                return Err(Error::InvalidErrorBound(
+                    "NOA requires the global value range and cannot be streamed; \
+                     use pfpl::compress, or derive an ABS bound yourself"
+                        .into(),
+                ))
+            }
+        };
+        Ok(Self {
+            q,
+            bound,
+            derived,
+            pending: Vec::with_capacity(chunk::values_per_chunk::<F>()),
+            sizes: Vec::new(),
+            payloads: Vec::new(),
+            scratch: Scratch::default(),
+            lossless: 0,
+            raw_chunks: 0,
+            total: 0,
+        })
+    }
+
+    fn flush_chunk(&mut self) {
+        debug_assert!(!self.pending.is_empty());
+        let start = self.payloads.len();
+        let info = match &self.q {
+            StreamQuantizer::Abs(q) => {
+                chunk::compress_chunk(q, &self.pending, &mut self.scratch, &mut self.payloads)
+            }
+            StreamQuantizer::Rel(q) => {
+                chunk::compress_chunk(q, &self.pending, &mut self.scratch, &mut self.payloads)
+            }
+        };
+        let len = (self.payloads.len() - start) as u32;
+        self.sizes
+            .push(len | if info.raw { RAW_FLAG } else { 0 });
+        self.lossless += info.lossless_values;
+        self.raw_chunks += info.raw as u64;
+        self.pending.clear();
+    }
+
+    /// Append values to the stream.
+    pub fn push(&mut self, data: &[F]) {
+        let vpc = chunk::values_per_chunk::<F>();
+        self.total += data.len() as u64;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (vpc - self.pending.len()).min(rest.len());
+            self.pending.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.pending.len() == vpc {
+                self.flush_chunk();
+            }
+        }
+    }
+
+    /// Number of values pushed so far.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Finalize: emit the archive (byte-identical to [`crate::compress`]
+    /// over the same input) and the compression statistics.
+    pub fn finish(mut self) -> (Vec<u8>, CompressStats) {
+        if !self.pending.is_empty() {
+            self.flush_chunk();
+        }
+        let header = Header {
+            precision: F::PRECISION,
+            kind: self.bound.kind(),
+            passthrough: false,
+            user_bound: self.bound.value(),
+            derived_bound: self.derived,
+            count: self.total,
+            chunk_count: self.sizes.len() as u32,
+        };
+        let mut archive = Vec::with_capacity(
+            crate::container::HEADER_LEN + 4 * self.sizes.len() + self.payloads.len(),
+        );
+        header.write(&self.sizes, &mut archive);
+        archive.extend_from_slice(&self.payloads);
+        let stats = CompressStats {
+            total_values: self.total,
+            lossless_values: self.lossless,
+            chunks: self.sizes.len() as u64,
+            raw_chunks: self.raw_chunks,
+            input_bytes: self.total * (F::Bits::BITS as u64 / 8),
+            output_bytes: archive.len() as u64,
+        };
+        (archive, stats)
+    }
+}
+
+/// Iterate the chunks of an archive without materializing the whole
+/// output — the reader-side streaming counterpart.
+pub fn decompress_chunks<F: PfplFloat>(
+    archive: &[u8],
+) -> Result<impl Iterator<Item = Result<Vec<F>>> + '_> {
+    let (header, sizes, payload_start) = Header::read(archive)?;
+    if header.precision != F::PRECISION {
+        return Err(Error::PrecisionMismatch {
+            archive: header.precision,
+            requested: F::PRECISION,
+        });
+    }
+    let payload = &archive[payload_start..];
+    let offsets = crate::container::chunk_offsets(&sizes, payload.len())?;
+    let vpc = chunk::values_per_chunk::<F>();
+    let count = header.count as usize;
+    if count.div_ceil(vpc) != header.chunk_count as usize {
+        return Err(Error::Corrupt("count/chunk mismatch".into()));
+    }
+    enum Q<F: PfplFloat> {
+        Abs(AbsQuantizer<F>),
+        Rel(RelQuantizer<F>),
+        Pass(crate::quantize::PassthroughQuantizer),
+    }
+    let derived = F::from_f64(header.derived_bound);
+    let q = if header.passthrough {
+        Q::Pass(crate::quantize::PassthroughQuantizer)
+    } else {
+        match header.kind {
+            BoundKind::Abs | BoundKind::Noa => Q::Abs(AbsQuantizer::new(derived)?),
+            BoundKind::Rel => Q::Rel(RelQuantizer::new(derived)?),
+        }
+    };
+    let mut scratch = Scratch::default();
+    let mut i = 0usize;
+    Ok(std::iter::from_fn(move || {
+        if i >= sizes.len() {
+            return None;
+        }
+        let nvals = vpc.min(count - i * vpc);
+        let p = &payload[offsets[i]..offsets[i + 1]];
+        let raw = sizes[i] & RAW_FLAG != 0;
+        let mut vals = vec![F::ZERO; nvals];
+        let res = match &q {
+            Q::Abs(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
+            Q::Rel(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
+            Q::Pass(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
+        };
+        i += 1;
+        Some(res.map(|()| vals))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Mode;
+
+    fn signal(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.002).sin() * 9.0).collect()
+    }
+
+    #[test]
+    fn streamed_archive_is_byte_identical() {
+        let data = signal(100_000);
+        for bound in [ErrorBound::Abs(1e-3), ErrorBound::Rel(1e-3)] {
+            let whole = crate::compress(&data, bound, Mode::Serial).unwrap();
+            // Push in awkward sizes.
+            let mut enc = StreamCompressor::<f32>::new(bound).unwrap();
+            let mut i = 0;
+            let mut step = 1;
+            while i < data.len() {
+                let hi = (i + step).min(data.len());
+                enc.push(&data[i..hi]);
+                i = hi;
+                step = step * 3 % 10_007 + 1;
+            }
+            let (streamed, stats) = enc.finish();
+            assert_eq!(whole, streamed, "{bound:?}");
+            assert_eq!(stats.total_values, data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn noa_rejected() {
+        assert!(matches!(
+            StreamCompressor::<f32>::new(ErrorBound::Noa(1e-3)),
+            Err(Error::InvalidErrorBound(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = StreamCompressor::<f64>::new(ErrorBound::Abs(1e-6)).unwrap();
+        assert!(enc.is_empty());
+        let (archive, stats) = enc.finish();
+        assert_eq!(stats.total_values, 0);
+        let back: Vec<f64> = crate::decompress(&archive, Mode::Serial).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn chunked_decode_matches_whole() {
+        let data = signal(50_000);
+        let archive = crate::compress(&data, ErrorBound::Abs(1e-2), Mode::Parallel).unwrap();
+        let whole: Vec<f32> = crate::decompress(&archive, Mode::Serial).unwrap();
+        let mut streamed = Vec::new();
+        for chunk in decompress_chunks::<f32>(&archive).unwrap() {
+            streamed.extend(chunk.unwrap());
+        }
+        assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chunked_decode_streams_rel_and_noa_archives() {
+        let data = signal(30_000);
+        for bound in [ErrorBound::Rel(1e-3), ErrorBound::Noa(1e-3)] {
+            let archive = crate::compress(&data, bound, Mode::Serial).unwrap();
+            let n: usize = decompress_chunks::<f32>(&archive)
+                .unwrap()
+                .map(|c| c.unwrap().len())
+                .sum();
+            assert_eq!(n, data.len());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Persistent-worker grid launcher.
+//!
+//! The paper dynamically assigns chunks to thread blocks for load balance
+//! (§III-E). The simulation runs a fixed set of persistent workers (one OS
+//! thread per simulated SM slot) that repeatedly claim the next block index
+//! from an atomic counter. Because indices are claimed **in ascending
+//! order** and workers never block on *later* indices, any block a worker
+//! waits on during decoupled look-back is either finished or currently
+//! running — the same forward-progress argument real single-pass scans rely
+//! on (resident blocks make progress).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Launch `num_blocks` instances of `kernel` on `workers` persistent
+/// worker threads. `kernel(b)` is called exactly once for every
+/// `b in 0..num_blocks`.
+///
+/// # Panics
+/// Propagates panics from kernels (the scope joins all workers).
+pub fn launch<F>(num_blocks: usize, workers: usize, kernel: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if num_blocks == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, num_blocks);
+    if workers == 1 {
+        for b in 0..num_blocks {
+            kernel(b);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let b = counter.fetch_add(1, Ordering::Relaxed);
+                if b >= num_blocks {
+                    break;
+                }
+                kernel(b);
+            });
+        }
+    })
+    .expect("grid worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_block_runs_once() {
+        let n = 1000;
+        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        launch(n, 8, |b| {
+            flags[b].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_blocks_is_noop() {
+        launch(0, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let order = parking_lot::Mutex::new(Vec::new());
+        launch(10, 1, |b| order.lock().push(b));
+        assert_eq!(*order.lock(), (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,603 @@
+//! PFPL compression/decompression kernels on the simulated device
+//! (the PFPL_CUDA analogue).
+//!
+//! Structure mirrors §III-E:
+//!
+//! * one thread block per 16 KiB chunk, blocks claimed dynamically by
+//!   persistent workers;
+//! * quantization is embarrassingly parallel; delta encoding reads only
+//!   inputs; the bit shuffle runs at warp granularity with
+//!   `log2(wordsize)` butterfly shuffle steps;
+//! * zero-elimination bitmaps are built one byte (8 input bytes) per
+//!   thread without atomics; output compaction uses block-wide exclusive
+//!   scans with per-thread pre-reduction;
+//! * the cumulative compressed size is propagated between blocks with
+//!   decoupled look-back, and each block writes its payload into device
+//!   memory at its exclusive-prefix offset;
+//! * the decoder prefix-sums the stored chunk sizes and reverses each
+//!   stage, using a block-wide scan for the delta decode.
+//!
+//! The output archive is **byte-for-byte identical** to
+//! [`pfpl::compress`]'s, and decompression of any PFPL archive yields
+//! bit-identical values — the paper's CPU/GPU-compatibility guarantee,
+//! enforced here by integration tests rather than by trusting two
+//! compilers.
+
+use crate::block;
+use crate::configs::DeviceConfig;
+use crate::grid;
+use crate::lookback::Lookback;
+use crate::shared::{DeviceBuffer, DeviceSlice};
+use crate::warp::{self, WARP_SIZE};
+use pfpl::container::{chunk_offsets, Header, HEADER_LEN, RAW_FLAG};
+use pfpl::error::{Error, Result};
+use pfpl::float::{bound_toward_zero, negabinary, PfplFloat, Word};
+use pfpl::lossless::shuffle;
+use pfpl::quantize::{
+    derive_noa_bound, AbsQuantizer, NoaBound, PassthroughQuantizer, Quantizer, RelQuantizer,
+};
+use pfpl::types::{BoundKind, ErrorBound};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A simulated GPU that compresses and decompresses PFPL archives.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuDevice {
+    config: DeviceConfig,
+}
+
+impl GpuDevice {
+    /// Create a device from a configuration (see [`crate::configs`]).
+    pub fn new(config: DeviceConfig) -> Self {
+        Self { config }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Compress `data` under `bound`; byte-identical to [`pfpl::compress`].
+    pub fn compress<F: PfplFloat>(&self, data: &[F], bound: ErrorBound) -> Result<Vec<u8>>
+    where
+        F::Bits: WarpTranspose,
+    {
+        let eb = bound.value();
+        if !(eb > 0.0) || !eb.is_finite() {
+            return Err(Error::InvalidErrorBound(format!(
+                "bound must be finite and > 0; got {eb}"
+            )));
+        }
+        let eb_f: F = bound_toward_zero(eb);
+        match bound {
+            ErrorBound::Abs(_) => {
+                let q = AbsQuantizer::new(eb_f)?;
+                self.run_compress(data, &q, bound, q.bound().to_f64(), false)
+            }
+            ErrorBound::Rel(_) => {
+                let q = RelQuantizer::new(eb_f)?;
+                self.run_compress(data, &q, bound, q.bound().to_f64(), false)
+            }
+            ErrorBound::Noa(_) => match derive_noa_bound(data, eb_f) {
+                NoaBound::Abs(abs_eb) => {
+                    let q = AbsQuantizer::new(abs_eb)?;
+                    self.run_compress(data, &q, bound, abs_eb.to_f64(), false)
+                }
+                NoaBound::Passthrough => {
+                    self.run_compress(data, &PassthroughQuantizer, bound, 0.0, true)
+                }
+            },
+        }
+    }
+
+    fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
+        &self,
+        data: &[F],
+        q: &Q,
+        bound: ErrorBound,
+        derived: f64,
+        passthrough: bool,
+    ) -> Result<Vec<u8>>
+    where
+        F::Bits: WarpTranspose,
+    {
+        let vpc = pfpl::chunk::values_per_chunk::<F>();
+        let word_bytes = F::Bits::BITS as usize / 8;
+        let nchunks = data.len().div_ceil(vpc);
+        if nchunks > (RAW_FLAG - 1) as usize {
+            return Err(Error::Corrupt(format!(
+                "input too large: {nchunks} chunks exceed the 31-bit chunk counter"
+            )));
+        }
+        // Raw fallback caps each chunk at its uncompressed size, so the
+        // worst-case payload is the input size.
+        let arena = DeviceBuffer::new(data.len() * word_bytes);
+        let lookback = Lookback::new(nchunks);
+        let sizes: Vec<AtomicU32> = (0..nchunks).map(|_| AtomicU32::new(0)).collect();
+        let lossless: AtomicU64 = AtomicU64::new(0);
+
+        grid::launch(nchunks, self.config.resident_blocks(), |b| {
+            let lo = b * vpc;
+            let hi = (lo + vpc).min(data.len());
+            let mut payload = Vec::with_capacity(pfpl::chunk::CHUNK_BYTES);
+            let (raw, ll) = encode_chunk_block(q, &data[lo..hi], &mut payload);
+            lossless.fetch_add(ll, Ordering::Relaxed);
+            let len = payload.len();
+            let off = lookback.run_block(b, len as u64) as usize;
+            // SAFETY: look-back offsets are an exclusive prefix sum of the
+            // payload lengths, so every block's range is disjoint and the
+            // total is bounded by the arena size.
+            unsafe { arena.write_at(off, &payload) };
+            let flag = if raw { RAW_FLAG } else { 0 };
+            sizes[b].store(len as u32 | flag, Ordering::Release);
+        });
+
+        let sizes: Vec<u32> = sizes.into_iter().map(|s| s.into_inner()).collect();
+        let payload_len: usize = sizes.iter().map(|&s| (s & !RAW_FLAG) as usize).sum();
+        let header = Header {
+            precision: F::PRECISION,
+            kind: bound.kind(),
+            passthrough,
+            user_bound: bound.value(),
+            derived_bound: derived,
+            count: data.len() as u64,
+            chunk_count: nchunks as u32,
+        };
+        let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + payload_len);
+        header.write(&sizes, &mut archive);
+        archive.extend_from_slice(&arena.into_vec(payload_len));
+        Ok(archive)
+    }
+
+    /// Decompress an archive; bit-identical to [`pfpl::decompress`].
+    pub fn decompress<F: PfplFloat>(&self, archive: &[u8]) -> Result<Vec<F>>
+    where
+        F::Bits: WarpTranspose,
+    {
+        let (header, sizes, payload_start) = Header::read(archive)?;
+        if header.precision != F::PRECISION {
+            return Err(Error::PrecisionMismatch {
+                archive: header.precision,
+                requested: F::PRECISION,
+            });
+        }
+        let payload = &archive[payload_start..];
+        // The paper's decoder computes a prefix sum over the stored sizes.
+        let offsets = chunk_offsets(&sizes, payload.len())?;
+        let vpc = pfpl::chunk::values_per_chunk::<F>();
+        let count = header.count as usize;
+        if count.div_ceil(vpc) != header.chunk_count as usize {
+            return Err(Error::Corrupt(format!(
+                "count {count} inconsistent with {} chunks",
+                header.chunk_count
+            )));
+        }
+        let derived = F::from_f64(header.derived_bound);
+        let out: DeviceSlice<F::Bits> = DeviceSlice::new_with(count, F::Bits::ZERO);
+        let failed = AtomicU32::new(0);
+
+        let run = |q: &(dyn Quantizer<F> + Sync)| {
+            grid::launch(header.chunk_count as usize, self.config.resident_blocks(), |b| {
+                let lo = b * vpc;
+                let nvals = vpc.min(count - lo);
+                let p = &payload[offsets[b]..offsets[b + 1]];
+                let raw = sizes[b] & RAW_FLAG != 0;
+                match decode_chunk_block(q, p, raw, nvals) {
+                    Ok(words) => {
+                        // SAFETY: chunk b owns out[lo..lo+nvals] exclusively.
+                        unsafe { out.write_at(lo, &words) };
+                    }
+                    Err(_) => {
+                        failed.store(1 + b as u32, Ordering::Relaxed);
+                    }
+                }
+            });
+        };
+        if header.passthrough {
+            run(&PassthroughQuantizer);
+        } else {
+            match header.kind {
+                BoundKind::Abs | BoundKind::Noa => run(&AbsQuantizer::<F>::new(derived)?),
+                BoundKind::Rel => run(&RelQuantizer::<F>::new(derived)?),
+            }
+        }
+        let f = failed.load(Ordering::Relaxed);
+        if f != 0 {
+            return Err(Error::Corrupt(format!("chunk {} failed to decode", f - 1)));
+        }
+        Ok(out.into_vec().into_iter().map(F::from_bits).collect())
+    }
+}
+
+/// Words per simulated thread in compaction scans (the paper's "multiple
+/// values per thread" pre-reduction).
+const SCAN_VPT: usize = 8;
+
+/// One block's encode kernel: the fused quantize → delta → bit-shuffle →
+/// zero-eliminate pipeline, all in "shared memory" buffers. Returns
+/// (raw, lossless_value_count) and appends the payload to `out`.
+fn encode_chunk_block<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    out: &mut Vec<u8>,
+) -> (bool, u64)
+where
+    F::Bits: WarpTranspose,
+{
+    let word_bytes = F::Bits::BITS as usize / 8;
+    let raw_len = vals.len() * word_bytes;
+
+    // Quantize (embarrassingly parallel across threads).
+    let mut words: Vec<F::Bits> = Vec::with_capacity(vals.len());
+    let mut lossless = 0u64;
+    for &v in vals {
+        let w = q.encode(v);
+        lossless += q.is_lossless_word(w) as u64;
+        words.push(w);
+    }
+
+    // Delta + negabinary: each thread reads its left neighbor from the
+    // snapshot (no scan needed when encoding).
+    let mut deltas: Vec<F::Bits> = Vec::with_capacity(words.len());
+    for i in 0..words.len() {
+        let prev = if i == 0 { F::Bits::ZERO } else { words[i - 1] };
+        deltas.push(negabinary::encode(words[i].wrapping_sub(prev)));
+    }
+
+    // Bit shuffle at warp granularity (full chunks); the scalar fallback
+    // shares the CPU code path so the bytes match by construction.
+    let mut shuffled = vec![0u8; raw_len];
+    if !deltas.is_empty() && deltas.len() % (F::Bits::BITS as usize) == 0 {
+        warp_bitshuffle::<F::Bits>(&deltas, &mut shuffled);
+    } else {
+        shuffle::encode(&deltas, &mut shuffled);
+    }
+
+    // Zero-byte elimination with block-scan compaction.
+    let mut payload = Vec::with_capacity(raw_len / 2);
+    zeroelim_block(&shuffled, &mut payload);
+
+    if payload.len() >= raw_len {
+        // Raw fallback: emit the original values unchanged.
+        let start = out.len();
+        out.resize(start + raw_len, 0);
+        for (i, &v) in vals.iter().enumerate() {
+            v.to_bits()
+                .write_le(&mut out[start + i * word_bytes..start + (i + 1) * word_bytes]);
+        }
+        (true, 0)
+    } else {
+        out.extend_from_slice(&payload);
+        (false, lossless)
+    }
+}
+
+/// Warp-granularity bit shuffle for whole groups of `BITS` words.
+fn warp_bitshuffle<W: Word + WarpTranspose>(words: &[W], out: &mut [u8]) {
+    let bits = W::BITS as usize;
+    let n = words.len();
+    debug_assert_eq!(n % bits, 0);
+    let plane_bytes = n / 8;
+    let word_bytes = bits / 8;
+    for g in 0..n / bits {
+        let group = &words[g * bits..(g + 1) * bits];
+        W::warp_transpose(group, |p, t| {
+            let off = p * plane_bytes + g * word_bytes;
+            t.write_le(&mut out[off..off + word_bytes]);
+        });
+    }
+}
+
+/// Inverse warp-granularity bit shuffle.
+fn warp_bitunshuffle<W: Word + WarpTranspose>(bytes: &[u8], words: &mut [W]) {
+    let bits = W::BITS as usize;
+    let n = words.len();
+    debug_assert_eq!(n % bits, 0);
+    let plane_bytes = n / 8;
+    let word_bytes = bits / 8;
+    for g in 0..n / bits {
+        let read_plane = |p: usize| {
+            let off = p * plane_bytes + g * word_bytes;
+            W::read_le(&bytes[off..off + word_bytes])
+        };
+        W::warp_untranspose(&mut words[g * bits..(g + 1) * bits], read_plane);
+    }
+}
+
+/// Per-word-size warp transpose plumbing (32 words in one warp for u32,
+/// 64 words as two registers per lane for u64).
+pub trait WarpTranspose: Word {
+    /// Transpose a `BITS`-word group and hand plane `p`'s word (MSB plane
+    /// first) to `emit`.
+    fn warp_transpose(group: &[Self], emit: impl FnMut(usize, Self));
+    /// Inverse: fetch plane `p`'s word via `fetch`, transpose back into
+    /// `group`.
+    fn warp_untranspose(group: &mut [Self], fetch: impl Fn(usize) -> Self);
+}
+
+impl WarpTranspose for u32 {
+    fn warp_transpose(group: &[Self], mut emit: impl FnMut(usize, Self)) {
+        let mut lanes: [u32; WARP_SIZE] = group.try_into().expect("32-word group");
+        warp::transpose32(&mut lanes);
+        for p in 0..32 {
+            emit(p, lanes[31 - p]);
+        }
+    }
+    fn warp_untranspose(group: &mut [Self], fetch: impl Fn(usize) -> Self) {
+        let mut lanes = [0u32; WARP_SIZE];
+        for p in 0..32 {
+            lanes[31 - p] = fetch(p);
+        }
+        warp::transpose32(&mut lanes);
+        group.copy_from_slice(&lanes);
+    }
+}
+
+impl WarpTranspose for u64 {
+    fn warp_transpose(group: &[Self], mut emit: impl FnMut(usize, Self)) {
+        let mut lo: [u64; WARP_SIZE] = group[..32].try_into().expect("64-word group");
+        let mut hi: [u64; WARP_SIZE] = group[32..].try_into().expect("64-word group");
+        warp::transpose64(&mut lo, &mut hi);
+        for p in 0..64 {
+            let j = 63 - p;
+            emit(p, if j < 32 { lo[j] } else { hi[j - 32] });
+        }
+    }
+    fn warp_untranspose(group: &mut [Self], fetch: impl Fn(usize) -> Self) {
+        let mut lo = [0u64; WARP_SIZE];
+        let mut hi = [0u64; WARP_SIZE];
+        for p in 0..64 {
+            let j = 63 - p;
+            if j < 32 {
+                lo[j] = fetch(p);
+            } else {
+                hi[j - 32] = fetch(p);
+            }
+        }
+        warp::transpose64(&mut lo, &mut hi);
+        group[..32].copy_from_slice(&lo);
+        group[32..].copy_from_slice(&hi);
+    }
+}
+
+/// Build the nonzero bitmap one byte per simulated thread (8 input bytes
+/// each, no atomics) and compact the nonzero bytes with a block scan.
+fn zeroelim_block(input: &[u8], out: &mut Vec<u8>) {
+    // Level-0 bitmap.
+    let len0 = input.len().div_ceil(8);
+    let mut bitmap0 = vec![0u8; len0];
+    for (t, slot) in bitmap0.iter_mut().enumerate() {
+        let mut byte = 0u8;
+        for b in 0..8 {
+            let idx = t * 8 + b;
+            if idx < input.len() && input[idx] != 0 {
+                byte |= 1 << b;
+            }
+        }
+        *slot = byte;
+    }
+
+    // Compact nonzero data bytes via block-wide exclusive scan of
+    // per-thread nonzero counts.
+    let nthreads = input.len().div_ceil(SCAN_VPT);
+    let mut counts: Vec<u32> = (0..nthreads)
+        .map(|t| {
+            input[t * SCAN_VPT..((t + 1) * SCAN_VPT).min(input.len())]
+                .iter()
+                .filter(|&&b| b != 0)
+                .count() as u32
+        })
+        .collect();
+    let total = block::exclusive_scan_u32(&mut counts, 1) as usize;
+    let mut data = vec![0u8; total];
+    for t in 0..nthreads {
+        let mut off = counts[t] as usize;
+        for &b in &input[t * SCAN_VPT..((t + 1) * SCAN_VPT).min(input.len())] {
+            if b != 0 {
+                data[off] = b;
+                off += 1;
+            }
+        }
+    }
+
+    // Iterated repeat-elimination of the bitmap. These levels shrink by 8×
+    // per round (a full chunk's level-1 input is 2 KiB), so even the GPU
+    // code processes them with a single warp; the simulation does the same
+    // serially per block.
+    let mut bitmap = bitmap0;
+    let mut nonreps: Vec<Vec<u8>> = Vec::with_capacity(pfpl::lossless::zeroelim::LEVELS);
+    for _ in 0..pfpl::lossless::zeroelim::LEVELS {
+        let lenk = bitmap.len().div_ceil(8);
+        let mut next = vec![0u8; lenk];
+        let mut nr = Vec::new();
+        for (j, &b) in bitmap.iter().enumerate() {
+            // Each simulated thread reads its left neighbor from the
+            // snapshot — elementwise, no scan needed.
+            let prev = if j == 0 { 0 } else { bitmap[j - 1] };
+            if b != prev {
+                next[j >> 3] |= 1 << (j & 7);
+                nr.push(b);
+            }
+        }
+        nonreps.push(nr);
+        bitmap = next;
+    }
+
+    out.extend_from_slice(&bitmap);
+    for nr in nonreps.iter().rev() {
+        out.extend_from_slice(nr);
+    }
+    out.extend_from_slice(&data);
+}
+
+/// One block's decode kernel: zero-elimination expand, bit unshuffle,
+/// block-scan delta decode, quantizer decode. Returns the chunk's words
+/// (already quantizer-decoded to value bit patterns).
+fn decode_chunk_block<F: PfplFloat>(
+    q: &(dyn Quantizer<F> + Sync),
+    payload: &[u8],
+    raw: bool,
+    nvals: usize,
+) -> Result<Vec<F::Bits>>
+where
+    F::Bits: WarpTranspose,
+{
+    let word_bytes = F::Bits::BITS as usize / 8;
+    let raw_len = nvals * word_bytes;
+    if raw {
+        if payload.len() != raw_len {
+            return Err(Error::Corrupt(format!(
+                "raw chunk payload is {} bytes, expected {raw_len}",
+                payload.len()
+            )));
+        }
+        return Ok((0..nvals)
+            .map(|i| F::Bits::read_le(&payload[i * word_bytes..(i + 1) * word_bytes]))
+            .collect());
+    }
+    let (bytes, used) = pfpl::lossless::zeroelim::decode(payload, raw_len)?;
+    if used != payload.len() {
+        return Err(Error::Corrupt(format!(
+            "chunk payload has {} trailing bytes",
+            payload.len() - used
+        )));
+    }
+    let mut words = vec![F::Bits::ZERO; nvals];
+    if nvals > 0 && nvals % (F::Bits::BITS as usize) == 0 {
+        warp_bitunshuffle(&bytes, &mut words);
+    } else {
+        shuffle::decode(&bytes, &mut words);
+    }
+    // Delta decode = inclusive scan of negabinary-decoded residuals. The
+    // GPU needs the block-wide scan here (§III-E: "the decoder requires a
+    // block-wide prefix sum"), which is why decompression is the slower
+    // direction on the device.
+    let mut wide: Vec<u64> = words
+        .iter()
+        .map(|&w| negabinary::decode(w).to_u64())
+        .collect();
+    // exclusive scan → shift to inclusive by adding own value
+    let own: Vec<u64> = wide.clone();
+    block::exclusive_scan_wrapping_u64(&mut wide, SCAN_VPT);
+    for i in 0..nvals {
+        words[i] = F::Bits::from_u64(wide[i].wrapping_add(own[i]));
+    }
+    Ok(words.iter().map(|&w| q.decode(w).to_bits()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use pfpl::types::Mode;
+
+    fn device() -> GpuDevice {
+        GpuDevice::new(configs::RTX_4090)
+    }
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.002).sin() * 3.0 + (i as f32 * 0.00017).cos())
+            .collect()
+    }
+
+    #[test]
+    fn gpu_archive_identical_to_cpu_abs() {
+        let data = smooth(200_000);
+        for &eb in &[1e-1, 1e-3] {
+            let cpu = pfpl::compress(&data, ErrorBound::Abs(eb), Mode::Serial).unwrap();
+            let gpu = device().compress(&data, ErrorBound::Abs(eb)).unwrap();
+            assert_eq!(cpu, gpu, "eb={eb}");
+        }
+    }
+
+    #[test]
+    fn gpu_archive_identical_to_cpu_rel_noa() {
+        let data = smooth(100_000);
+        for bound in [ErrorBound::Rel(1e-2), ErrorBound::Noa(1e-3)] {
+            let cpu = pfpl::compress(&data, bound, Mode::Parallel).unwrap();
+            let gpu = device().compress(&data, bound).unwrap();
+            assert_eq!(cpu, gpu, "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn gpu_archive_identical_f64() {
+        let data: Vec<f64> = (0..60_000).map(|i| (i as f64 * 0.001).sin() * 100.0).collect();
+        for bound in [
+            ErrorBound::Abs(1e-6),
+            ErrorBound::Rel(1e-5),
+            ErrorBound::Noa(1e-4),
+        ] {
+            let cpu = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+            let gpu = device().compress(&data, bound).unwrap();
+            assert_eq!(cpu, gpu, "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn cross_device_decompression() {
+        // Compress on "GPU", decompress on CPU — and vice versa.
+        let data = smooth(150_000);
+        let bound = ErrorBound::Abs(1e-3);
+        let gpu_arch = device().compress(&data, bound).unwrap();
+        let via_cpu: Vec<f32> = pfpl::decompress(&gpu_arch, Mode::Parallel).unwrap();
+        let via_gpu: Vec<f32> = device().decompress(&gpu_arch).unwrap();
+        assert_eq!(
+            via_cpu.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_gpu.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for (a, b) in data.iter().zip(&via_gpu) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn partial_chunks_and_specials() {
+        let mut data = smooth(5_123); // not a multiple of the chunk size
+        data[7] = f32::NAN;
+        data[8] = f32::INFINITY;
+        let bound = ErrorBound::Abs(1e-2);
+        let cpu = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        let gpu = device().compress(&data, bound).unwrap();
+        assert_eq!(cpu, gpu);
+        let back: Vec<f32> = device().decompress(&gpu).unwrap();
+        assert!(back[7].is_nan());
+        assert_eq!(back[8], f32::INFINITY);
+    }
+
+    #[test]
+    fn empty_input_identical() {
+        let cpu = pfpl::compress::<f32>(&[], ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        let gpu = device().compress::<f32>(&[], ErrorBound::Abs(1e-3)).unwrap();
+        assert_eq!(cpu, gpu);
+        assert!(device().decompress::<f32>(&gpu).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incompressible_chunks_identical() {
+        let mut x = 1u64;
+        let data: Vec<f32> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f32::from_bits((x as u32 % 0x7F00_0000).max(1 << 23))
+            })
+            .collect();
+        let bound = ErrorBound::Rel(1e-7);
+        let cpu = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        let gpu = device().compress(&data, bound).unwrap();
+        assert_eq!(cpu, gpu);
+    }
+
+    #[test]
+    fn all_device_configs_agree() {
+        let data = smooth(80_000);
+        let bound = ErrorBound::Abs(1e-3);
+        let reference = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        for cfg in configs::ALL_DEVICES {
+            let arch = GpuDevice::new(cfg).compress(&data, bound).unwrap();
+            assert_eq!(arch, reference, "{}", cfg.name);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Device-global memory: a buffer multiple simulated blocks write
+//! concurrently at disjoint offsets.
+//!
+//! On the GPU, every block writes its compressed chunk into one output
+//! allocation at the offset the decoupled look-back produced. Rust's
+//! `&mut` aliasing rules cannot express "disjoint ranges decided at
+//! runtime", so this wrapper provides the same capability with an
+//! explicitly documented safety contract.
+
+use std::cell::UnsafeCell;
+
+/// A byte buffer writable from many threads at caller-guaranteed-disjoint
+/// ranges (the simulated device's global memory).
+pub struct DeviceBuffer {
+    len: usize,
+    data: UnsafeCell<Box<[u8]>>,
+}
+
+// SAFETY: all mutation goes through `write_at`, whose contract requires
+// disjoint ranges across concurrent callers; reads happen only after the
+// grid joins (happens-before via thread join).
+unsafe impl Sync for DeviceBuffer {}
+unsafe impl Send for DeviceBuffer {}
+
+impl DeviceBuffer {
+    /// Allocate `len` zeroed bytes of device memory.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            data: UnsafeCell::new(vec![0u8; len].into_boxed_slice()),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write `bytes` at `offset`.
+    ///
+    /// # Safety
+    /// The range `offset..offset + bytes.len()` must be in bounds and must
+    /// not overlap any range concurrently written by another thread. In the
+    /// PFPL kernels this is guaranteed by the look-back offsets being an
+    /// exclusive prefix sum of the chunk sizes.
+    pub unsafe fn write_at(&self, offset: usize, bytes: &[u8]) {
+        let slice = &mut *self.data.get();
+        debug_assert!(offset + bytes.len() <= slice.len());
+        slice[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Consume the buffer, returning the first `len` bytes.
+    pub fn into_vec(self, len: usize) -> Vec<u8> {
+        let mut v: Vec<u8> = self.data.into_inner().into_vec();
+        v.truncate(len);
+        v
+    }
+}
+
+/// Typed variant for decompression output: each block fills its own chunk
+/// of values.
+pub struct DeviceSlice<T> {
+    len: usize,
+    data: UnsafeCell<Box<[T]>>,
+}
+
+// SAFETY: same contract as `DeviceBuffer`.
+unsafe impl<T: Send> Sync for DeviceSlice<T> {}
+unsafe impl<T: Send> Send for DeviceSlice<T> {}
+
+impl<T: Copy> DeviceSlice<T> {
+    /// Allocate `len` values initialized to `init`.
+    pub fn new_with(len: usize, init: T) -> Self {
+        Self {
+            len,
+            data: UnsafeCell::new(vec![init; len].into_boxed_slice()),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write `vals` at `offset`.
+    ///
+    /// # Safety
+    /// Same disjointness/bounds contract as [`DeviceBuffer::write_at`].
+    pub unsafe fn write_at(&self, offset: usize, vals: &[T]) {
+        let slice = &mut *self.data.get();
+        debug_assert!(offset + vals.len() <= slice.len());
+        slice[offset..offset + vals.len()].copy_from_slice(vals);
+    }
+
+    /// Consume, returning all values.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data.into_inner().into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid;
+
+    #[test]
+    fn disjoint_concurrent_writes() {
+        let buf = DeviceBuffer::new(64 * 100);
+        grid::launch(100, 8, |b| {
+            let bytes = vec![b as u8; 64];
+            // SAFETY: each block writes its own 64-byte range.
+            unsafe { buf.write_at(b * 64, &bytes) };
+        });
+        let v = buf.into_vec(64 * 100);
+        for b in 0..100 {
+            assert!(v[b * 64..(b + 1) * 64].iter().all(|&x| x == b as u8));
+        }
+    }
+
+    #[test]
+    fn typed_slice_roundtrip() {
+        let s: DeviceSlice<f32> = DeviceSlice::new_with(10, 0.0);
+        unsafe { s.write_at(3, &[1.0, 2.0]) };
+        let v = s.into_vec();
+        assert_eq!(v[3], 1.0);
+        assert_eq!(v[4], 2.0);
+        assert_eq!(v[0], 0.0);
+    }
+}

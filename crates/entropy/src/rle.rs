@@ -1,0 +1,114 @@
+//! Byte run-length coding.
+//!
+//! Control byte `c`: `0..=127` copies the next `c + 1` literal bytes;
+//! `128..=255` repeats the following byte `c - 128 + 4` times (runs of
+//! 4..=131). Used by baselines for bitplane and significance-map streams.
+
+use crate::{EntropyError, Result};
+
+const MIN_RUN: usize = 4;
+const MAX_RUN: usize = 131;
+const MAX_LIT: usize = 128;
+
+/// Run-length encode `input`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let flush_lits = |out: &mut Vec<u8>, lits: &[u8]| {
+        for chunk in lits.chunks(MAX_LIT) {
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+    };
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1;
+        while i + run < input.len() && input[i + run] == b && run < MAX_RUN {
+            run += 1;
+        }
+        if run >= MIN_RUN {
+            flush_lits(&mut out, &input[lit_start..i]);
+            out.push((128 + run - MIN_RUN) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_lits(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Inverse of [`compress`].
+pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(buf.len() * 2);
+    let mut i = 0usize;
+    while i < buf.len() {
+        let c = buf[i] as usize;
+        i += 1;
+        if c < 128 {
+            let n = c + 1;
+            if i + n > buf.len() {
+                return Err(EntropyError::Malformed("literal run truncated".into()));
+            }
+            out.extend_from_slice(&buf[i..i + n]);
+            i += n;
+        } else {
+            if i >= buf.len() {
+                return Err(EntropyError::Malformed("repeat run truncated".into()));
+            }
+            let n = c - 128 + MIN_RUN;
+            let b = buf[i];
+            i += 1;
+            out.extend(std::iter::repeat(b).take(n));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn long_runs_shrink() {
+        let input = vec![0u8; 10_000];
+        let c = compress(&input);
+        assert!(c.len() < 200, "{}", c.len());
+        assert_eq!(decompress(&c).unwrap(), input);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut input = Vec::new();
+        for i in 0..1000u32 {
+            input.push((i % 7) as u8);
+            if i % 5 == 0 {
+                input.extend(std::iter::repeat(9u8).take(20));
+            }
+        }
+        let c = compress(&input);
+        assert_eq!(decompress(&c).unwrap(), input);
+        assert!(c.len() < input.len());
+    }
+
+    #[test]
+    fn truncation_errors() {
+        let c = compress(&[1, 1, 1, 1, 1, 2, 3]);
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]); // must never panic
+        }
+        assert!(decompress(&[5]).is_err());
+        assert!(decompress(&[200]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(input: Vec<u8>) {
+            prop_assert_eq!(decompress(&compress(&input)).unwrap(), input);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: compress a smooth field under each of the three error-bound
+//! types and verify the guarantee.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pfpl::{compress_with_stats, decompress_f32, ErrorBound, Mode};
+
+fn main() {
+    // A smooth-ish synthetic signal (what scientific data tends to look
+    // like, which is what PFPL is designed for).
+    let data: Vec<f32> = (0..1_000_000)
+        .map(|i| (i as f32 * 0.0004).sin() * 25.0 + (i as f32 * 0.000013).cos() * 5.0)
+        .collect();
+    let input_mb = data.len() as f64 * 4.0 / 1e6;
+    println!("input: {} values ({input_mb:.1} MB)\n", data.len());
+
+    for bound in [
+        ErrorBound::Abs(1e-3),
+        ErrorBound::Rel(1e-3),
+        ErrorBound::Noa(1e-3),
+    ] {
+        let (archive, stats) =
+            compress_with_stats(&data, bound, Mode::Parallel).expect("compression");
+        let restored = decompress_f32(&archive, Mode::Parallel).expect("decompression");
+
+        // Check the bound actually holds, point-wise, for every value.
+        let mut max_err = 0.0f64;
+        let mut max_rel = 0.0f64;
+        for (a, b) in data.iter().zip(&restored) {
+            let (a, b) = (*a as f64, *b as f64);
+            max_err = max_err.max((a - b).abs());
+            if a != 0.0 {
+                max_rel = max_rel.max(((a - b) / a).abs());
+            }
+        }
+        println!(
+            "{:?}: ratio {:.1}x, archive {:.2} MB, unquantizable {:.4}%, max|err| {:.2e}, max rel {:.2e}",
+            bound,
+            stats.ratio(),
+            archive.len() as f64 / 1e6,
+            stats.lossless_fraction() * 100.0,
+            max_err,
+            max_rel,
+        );
+    }
+}

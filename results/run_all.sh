@@ -1,0 +1,29 @@
+#!/bin/bash
+cd /root/repo
+R=results
+run() { timeout 2400 cargo run -q --release -p pfpl-bench --bin "$@" ; }
+run table1                                    > $R/table1.txt 2>&1
+run table2 -- --size small                    > $R/table2.txt 2>&1
+run table3                                    > $R/table3.txt 2>&1
+echo tables done
+run fig_abs -- --op comp   --precision single > $R/fig6a.txt 2>&1
+run fig_abs -- --op comp   --precision double > $R/fig6b.txt 2>&1
+run fig_abs -- --op comp   --precision single --system 2 > $R/fig6c.txt 2>&1
+run fig_abs -- --op decomp --precision single > $R/fig7a.txt 2>&1
+run fig_abs -- --op decomp --precision double > $R/fig7b.txt 2>&1
+echo abs done
+run fig_rel -- --op comp   --precision single > $R/fig8.txt 2>&1
+run fig_rel -- --op comp   --precision double > $R/fig9.txt 2>&1
+run fig_rel -- --op decomp --precision single > $R/fig10.txt 2>&1
+run fig_rel -- --op decomp --precision double > $R/fig11.txt 2>&1
+echo rel done
+run fig_noa -- --op comp   --precision single > $R/fig12.txt 2>&1
+run fig_noa -- --op comp   --precision double > $R/fig13.txt 2>&1
+run fig_noa -- --op decomp --precision single > $R/fig14.txt 2>&1
+run fig_noa -- --op decomp --precision double > $R/fig15.txt 2>&1
+echo noa done
+run fig_psnr                                  > $R/fig16.txt 2>&1
+run fig_gpu_gens                              > $R/gpu_gens.txt 2>&1
+run ablation                                  > $R/ablation.txt 2>&1
+run guarantee_cost                            > $R/guarantee_cost.txt 2>&1
+echo ALL-FIGURES-DONE

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate: re-exports the PFPL reproduction's crates so
+//! the top-level `tests/` and `examples/` can exercise the whole system.
+//!
+//! The real library surface lives in:
+//! * [`pfpl`] — the compressor (the paper's contribution),
+//! * [`pfpl_device_sim`] — the CUDA-style execution substrate,
+//! * [`pfpl_baselines`] — reimplementations of the 7 comparators,
+//! * [`pfpl_data`] — synthetic SDRBench-like suites and quality metrics,
+//! * [`pfpl_entropy`] — entropy-coding substrate used by the baselines.
+
+pub use pfpl;
+pub use pfpl_baselines;
+pub use pfpl_data;
+pub use pfpl_device_sim;
+pub use pfpl_entropy;
