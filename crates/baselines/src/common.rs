@@ -313,7 +313,7 @@ pub fn quantize_error<F: PfplFloat>(v: F, pred: F, eb2: F) -> Option<(u16, F)> {
     Some(((code + QUANT_RADIUS + 1) as u16, recon))
 }
 
-/// [`quantize_error`] plus the error-controlled verification of [32]
+/// [`quantize_error`] plus the error-controlled verification of \[32\]
 /// (used by SZ2/SZ3 for ABS/NOA, which is why those cells are ✓ in
 /// Table III): if the reconstruction misses the bound — e.g. the narrowing
 /// to `F` loses more than the quantization allowed for — the value becomes

@@ -1,4 +1,4 @@
-//! cuSZp-style compressor [15]: block prequantization + fixed-length
+//! cuSZp-style compressor \[15\]: block prequantization + fixed-length
 //! encoding, the GPU-throughput-oriented design point.
 //!
 //! The input is split into 32-value blocks. Each value is *prequantized*

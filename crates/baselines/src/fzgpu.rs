@@ -1,4 +1,4 @@
-//! FZ-GPU-style compressor [35]: fused prequantization + Lorenzo +
+//! FZ-GPU-style compressor \[35\]: fused prequantization + Lorenzo +
 //! bit shuffle + zero-block elimination.
 //!
 //! FZ-GPU is the kernel-fused cuSZ derivative optimized for throughput.

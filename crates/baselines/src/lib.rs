@@ -6,13 +6,13 @@
 //!
 //! | module    | stands in for | character preserved |
 //! |-----------|---------------|---------------------|
-//! | [`sz2`]   | SZ2 [23]      | Lorenzo prediction + error-controlled quantization + Huffman(+LZ); supports ABS/REL/NOA but does **not** verify, so REL can violate (log-domain round trip) |
-//! | [`sz3`]   | SZ3 [26]      | multilevel interpolation predictor, verified outliers (guaranteed), Huffman+LZ; `Serial` and lower-ratio block-parallel `OMP` variants |
-//! | [`zfp`]   | ZFP [27]      | 4^d blocks, block-floating-point, decorrelating lifting transform, negabinary, embedded bit-plane coding; fixed-accuracy ABS (unverified) and truncation-based REL |
-//! | [`mgard`] | MGARD-X [6]   | multilevel hierarchical decomposition with quantized correction coefficients (unverified; error accumulates across levels), CPU/GPU-portable structure |
-//! | [`sperr`] | SPERR [21]    | CDF 9/7 wavelet lifting + bit-plane coding + outlier corrections, LZ backend |
-//! | [`fzgpu`] | FZ-GPU [35]   | fused prequantization + Lorenzo + bitshuffle + zero-elimination; NOA-only, f32-only, 3D-only |
-//! | [`cuszp`] | cuSZp [15]    | block prequantization (with the integer-overflow hazard the paper calls out) + fixed-length bit packing |
+//! | [`sz2`]   | SZ2 \[23\]      | Lorenzo prediction + error-controlled quantization + Huffman(+LZ); supports ABS/REL/NOA but does **not** verify, so REL can violate (log-domain round trip) |
+//! | [`sz3`]   | SZ3 \[26\]      | multilevel interpolation predictor, verified outliers (guaranteed), Huffman+LZ; `Serial` and lower-ratio block-parallel `OMP` variants |
+//! | [`zfp`]   | ZFP \[27\]      | 4^d blocks, block-floating-point, decorrelating lifting transform, negabinary, embedded bit-plane coding; fixed-accuracy ABS (unverified) and truncation-based REL |
+//! | [`mgard`] | MGARD-X \[6\]   | multilevel hierarchical decomposition with quantized correction coefficients (unverified; error accumulates across levels), CPU/GPU-portable structure |
+//! | [`sperr`] | SPERR \[21\]    | CDF 9/7 wavelet lifting + bit-plane coding + outlier corrections, LZ backend |
+//! | [`fzgpu`] | FZ-GPU \[35\]   | fused prequantization + Lorenzo + bitshuffle + zero-elimination; NOA-only, f32-only, 3D-only |
+//! | [`cuszp`] | cuSZp \[15\]    | block prequantization (with the integer-overflow hazard the paper calls out) + fixed-length bit packing |
 //!
 //! These are *reproductions of designs*, not of codebases: each keeps the
 //! properties the paper's evaluation turns on (bound adherence or lack
@@ -20,6 +20,10 @@
 //! character) at a fraction of the original's code size.
 
 #![warn(missing_docs)]
+// `!(err <= bound)` instead of `err > bound` is deliberate throughout this
+// crate: the negated form also rejects NaN, which a rewritten positive
+// comparison would silently accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod common;
 pub mod cuszp;
@@ -138,13 +142,13 @@ pub trait Compressor: Sync {
 /// All baseline compressors, in Table III's order (by initial release).
 pub fn all_baselines() -> Vec<Box<dyn Compressor>> {
     vec![
-        Box::new(zfp::Zfp::default()),
-        Box::new(sz2::Sz2::default()),
+        Box::new(zfp::Zfp),
+        Box::new(sz2::Sz2),
         Box::new(sz3::Sz3::serial()),
         Box::new(sz3::Sz3::omp()),
-        Box::new(mgard::Mgard::default()),
-        Box::new(sperr::Sperr::default()),
-        Box::new(fzgpu::FzGpu::default()),
-        Box::new(cuszp::CuSzp::default()),
+        Box::new(mgard::Mgard),
+        Box::new(sperr::Sperr),
+        Box::new(fzgpu::FzGpu),
+        Box::new(cuszp::CuSzp),
     ]
 }

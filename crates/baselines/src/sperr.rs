@@ -1,4 +1,4 @@
-//! SPERR-style compressor [21]: CDF 9/7 wavelet lifting + coefficient
+//! SPERR-style compressor \[21\]: CDF 9/7 wavelet lifting + coefficient
 //! coding + outlier correction, with an LZ backend (the ZSTD stand-in).
 //!
 //! SPERR applies recursive wavelet transforms, codes the coefficients

@@ -1,4 +1,4 @@
-//! SZ2-style compressor [23]: Lorenzo prediction + error-controlled
+//! SZ2-style compressor \[23\]: Lorenzo prediction + error-controlled
 //! quantization + Huffman(+LZ), serial CPU.
 //!
 //! Supports all three bound types (the only comparator that does,
@@ -96,7 +96,7 @@ fn compress_abs_body<F: PfplFloat>(data: &[F], dims: &[usize], abs_eb: f64, w: &
 }
 
 /// REL: logarithm-domain ABS quantization (the unverified transform of
-/// [22] that produces SZ2's REL violations). Signs are a bitmap; zeros and
+/// \[22\] that produces SZ2's REL violations). Signs are a bitmap; zeros and
 /// non-finite values are outliers.
 fn compress_rel_body<F: PfplFloat>(data: &[F], eb: f64, w: &mut ByteWriter) {
     let leb2 = 2.0 * (1.0 + eb).ln();
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn rel_roundtrip_mostly_within_bound() {
         let data: Vec<f32> = (0..20_000)
-            .map(|i| ((i as f32 * 0.01).sin() + 2.0) * 10f32.powi((i % 5) as i32))
+            .map(|i| ((i as f32 * 0.01).sin() + 2.0) * 10f32.powi(i % 5))
             .collect();
         let eb = 1e-2;
         let arch = Sz2

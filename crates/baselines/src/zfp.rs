@@ -616,7 +616,7 @@ mod tests {
         let data: Vec<f32> = (0..512)
             .map(|i| {
                 let zblock = i / 256; // blocks span z in [0,4) and [4,8)
-                (1.5 + (i as f32 * 0.001).sin() * 0.2) * 10f32.powi(zblock as i32 * 3 - 2)
+                (1.5 + (i as f32 * 0.001).sin() * 0.2) * 10f32.powi(zblock * 3 - 2)
             })
             .collect();
         let eb = 1e-3;
@@ -636,7 +636,7 @@ mod tests {
         // paper reports for ZFP's REL results (§V-C).
         let dims = [8usize, 8, 8];
         let data: Vec<f32> = (0..512)
-            .map(|i| (1.0 + (i as f32 * 0.01).sin()) * 10f32.powi((i % 5) as i32 - 2))
+            .map(|i| (1.0 + (i as f32 * 0.01).sin()) * 10f32.powi((i % 5) - 2))
             .collect();
         let eb = 1e-3;
         let arch = Zfp.compress_f32(&data, &dims, ErrorBound::Rel(eb)).unwrap();

@@ -45,11 +45,11 @@ impl Default for Args {
 impl Args {
     /// Parse `std::env::args()`; exits with usage on error.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn defaults() {
-        let a = Args::from_iter(Vec::new());
+        let a = Args::parse_from(Vec::new());
         assert_eq!(a.runs, 3);
         assert!(!a.double);
         assert_eq!(a.op, Op::Compress);
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = Args::from_iter(
+        let a = Args::parse_from(
             ["--size", "tiny", "--op", "decomp", "--precision", "double", "--runs", "9", "--csv"]
                 .iter()
                 .map(|s| s.to_string()),

@@ -35,7 +35,7 @@ pub fn audit_fields() -> Vec<Field> {
     });
     // Mixed magnitudes within small neighborhoods.
     let mixed: Vec<f32> = (0..4096)
-        .map(|i| (1.0 + (i as f32 * 0.013).sin()) * 10f32.powi((i % 7) as i32 - 3))
+        .map(|i| (1.0 + (i as f32 * 0.013).sin()) * 10f32.powi((i % 7) - 3))
         .collect();
     fields.push(Field {
         name: "mixed-magnitude".into(),

@@ -1,33 +1,203 @@
-use std::time::Instant;
+//! Per-stage and end-to-end pipeline profile.
+//!
+//! Measures GB/s (uncompressed bytes / median wall-clock, paper §IV
+//! convention) for each of the four pipeline stages in both directions,
+//! plus end-to-end compression and decompression in serial and parallel
+//! modes, and writes the results to `BENCH_pipeline.json`.
+//!
+//! Flags: `--values N` (input size, default 4 Mi values = 16 MiB),
+//! `--runs R` (median-of-R, default 5), `--out PATH`.
+
+use pfpl::chunk::{self, CHUNK_BYTES};
+use pfpl::lossless::{delta, shuffle, zeroelim};
+use pfpl::quantize::{AbsQuantizer, Quantizer};
+use pfpl::types::{ErrorBound, Mode};
+use pfpl_data::timing::{median_seconds, throughput_gbs};
+use std::hint::black_box;
+
+const BOUND: f64 = 1e-3;
+
 fn main() {
-    let n = 4096*256; // 4MB
-    let vals: Vec<f32> = (0..n).map(|i| (i as f32 * 0.003).sin() * 12.0).collect();
-    let q = pfpl::quantize::AbsQuantizer::<f32>::new(1e-3).unwrap();
-    use pfpl::quantize::Quantizer;
-    use pfpl::lossless::{delta, shuffle, zeroelim};
-    let bytes = n*4;
-    let t0 = Instant::now();
-    let mut words: Vec<u32> = vals.iter().map(|&v| q.encode(v)).collect();
-    let t1 = Instant::now();
-    delta::encode_in_place(&mut words);
-    let t2 = Instant::now();
-    let mut buf = vec![0u8; bytes];
-    for c in words.chunks(4096) { shuffle::encode(c, &mut buf[..c.len()*4]); }
-    let t3 = Instant::now();
-    let mut out = Vec::new();
-    for c in buf.chunks(16384) { out.clear(); zeroelim::encode(c, &mut out); }
-    let t4 = Instant::now();
-    let gbs = |d: std::time::Duration| bytes as f64 / d.as_secs_f64() / 1e9;
-    println!("quantize: {:.2} GB/s", gbs(t1-t0));
-    println!("delta:    {:.2} GB/s", gbs(t2-t1));
-    println!("shuffle:  {:.2} GB/s", gbs(t3-t2));
-    println!("zeroelim: {:.2} GB/s", gbs(t4-t3));
-    // end to end
-    let t5 = Instant::now();
-    let arch = pfpl::compress(&vals, pfpl::ErrorBound::Abs(1e-3), pfpl::Mode::Serial).unwrap();
-    let t6 = Instant::now();
-    println!("end2end:  {:.2} GB/s (ratio {:.2})", gbs(t6-t5), bytes as f64/arch.len() as f64);
-    let t7 = Instant::now();
-    let _: Vec<f32> = pfpl::decompress(&arch, pfpl::Mode::Serial).unwrap();
-    println!("decomp:   {:.2} GB/s", gbs(Instant::now()-t7));
+    let mut values: usize = 4096 * 1024;
+    let mut runs: usize = 5;
+    let mut out_path = String::from("BENCH_pipeline.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let parse_usize = |flag: &str, v: String| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("{flag}: expected a positive integer, got `{v}`");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--values" => values = parse_usize("--values", take("--values")),
+            "--runs" => runs = parse_usize("--runs", take("--runs")),
+            "--out" => out_path = take("--out"),
+            other => {
+                eprintln!("unknown flag {other} (known: --values --runs --out)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let vals: Vec<f32> = (0..values)
+        .map(|i| (i as f32 * 0.003).sin() * 12.0)
+        .collect();
+    let bytes = values * 4;
+    let q = AbsQuantizer::<f32>::new(BOUND as f32).unwrap();
+    let vpc = chunk::values_per_chunk::<f32>();
+
+    // ---- compress stages (chunked, steady-state scratch reuse) ----------
+    let mut qwords = vec![0u32; values];
+    let t_quant = median_seconds(runs, || {
+        for (w, &v) in qwords.iter_mut().zip(&vals) {
+            *w = q.encode(v);
+        }
+    });
+
+    // Delta is in-place; time (memcpy + encode) and subtract the memcpy.
+    let mut wbuf = vec![0u32; values];
+    let t_copy = median_seconds(runs, || wbuf.copy_from_slice(&qwords));
+    let t_copy_delta = median_seconds(runs, || {
+        wbuf.copy_from_slice(&qwords);
+        for c in wbuf.chunks_mut(vpc) {
+            delta::encode_in_place(c);
+        }
+    });
+    let t_delta = (t_copy_delta - t_copy).max(1e-9);
+    let dwords = wbuf; // delta-encoded words from the last run
+
+    let mut sbytes = vec![0u8; bytes];
+    let t_shuffle = median_seconds(runs, || {
+        for (c, b) in dwords.chunks(vpc).zip(sbytes.chunks_mut(CHUNK_BYTES)) {
+            shuffle::encode(c, &mut b[..c.len() * 4]);
+        }
+    });
+
+    let mut ze = zeroelim::Scratch::default();
+    let t_ze = median_seconds(runs, || {
+        for cb in sbytes.chunks(CHUNK_BYTES) {
+            black_box(zeroelim::encode_to_scratch(cb, &mut ze));
+        }
+    });
+
+    // ---- decompress stages ----------------------------------------------
+    let payloads: Vec<Vec<u8>> = sbytes
+        .chunks(CHUNK_BYTES)
+        .map(|cb| {
+            let mut v = Vec::new();
+            zeroelim::encode(cb, &mut v);
+            v
+        })
+        .collect();
+    let mut ze_out = Vec::new();
+    let t_ze_dec = median_seconds(runs, || {
+        for (p, cb) in payloads.iter().zip(sbytes.chunks(CHUNK_BYTES)) {
+            zeroelim::decode_into(p, cb.len(), &mut ze, &mut ze_out).unwrap();
+        }
+    });
+
+    let mut words_back = vec![0u32; values];
+    let t_unshuffle = median_seconds(runs, || {
+        for (c, b) in words_back.chunks_mut(vpc).zip(sbytes.chunks(CHUNK_BYTES)) {
+            shuffle::decode(&b[..c.len() * 4], c);
+        }
+    });
+
+    let t_copy_undelta = median_seconds(runs, || {
+        words_back.copy_from_slice(&dwords);
+        for c in words_back.chunks_mut(vpc) {
+            delta::decode_in_place(c);
+        }
+    });
+    let t_undelta = (t_copy_undelta - t_copy).max(1e-9);
+
+    let mut back = vec![0f32; values];
+    let t_dequant = median_seconds(runs, || {
+        for (v, &w) in back.iter_mut().zip(&qwords) {
+            *v = q.decode(w);
+        }
+    });
+
+    // ---- end to end ------------------------------------------------------
+    let bound = ErrorBound::Abs(BOUND);
+    let archive = pfpl::compress(&vals, bound, Mode::Serial).unwrap();
+    let ratio = bytes as f64 / archive.len() as f64;
+    let t_comp_serial = median_seconds(runs, || {
+        black_box(pfpl::compress(&vals, bound, Mode::Serial).unwrap());
+    });
+    let t_comp_parallel = median_seconds(runs, || {
+        black_box(pfpl::compress(&vals, bound, Mode::Parallel).unwrap());
+    });
+    let t_dec_serial = median_seconds(runs, || {
+        black_box(pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap());
+    });
+    let t_dec_parallel = median_seconds(runs, || {
+        black_box(pfpl::decompress::<f32>(&archive, Mode::Parallel).unwrap());
+    });
+
+    let gbs = |secs: f64| throughput_gbs(bytes, secs);
+    let json = format!(
+        r#"{{
+  "bench": "pipeline",
+  "input": {{
+    "values": {values},
+    "bytes": {bytes},
+    "precision": "f32",
+    "bound": {{ "kind": "abs", "value": {BOUND} }},
+    "threads": {threads}
+  }},
+  "runs": {runs},
+  "stages_gbs": {{
+    "compress": {{
+      "quantize": {quant:.4},
+      "delta": {delta:.4},
+      "shuffle": {shuf:.4},
+      "zeroelim": {ze:.4}
+    }},
+    "decompress": {{
+      "zeroelim": {ze_d:.4},
+      "unshuffle": {unshuf:.4},
+      "undelta": {undelta:.4},
+      "dequantize": {dequant:.4}
+    }}
+  }},
+  "end_to_end_gbs": {{
+    "compress": {{ "serial": {cs:.4}, "parallel": {cp:.4} }},
+    "decompress": {{ "serial": {ds:.4}, "parallel": {dp:.4} }}
+  }},
+  "compression_ratio": {ratio:.4}
+}}
+"#,
+        threads = rayon::current_num_threads(),
+        quant = gbs(t_quant),
+        delta = gbs(t_delta),
+        shuf = gbs(t_shuffle),
+        ze = gbs(t_ze),
+        ze_d = gbs(t_ze_dec),
+        unshuf = gbs(t_unshuffle),
+        undelta = gbs(t_undelta),
+        dequant = gbs(t_dequant),
+        cs = gbs(t_comp_serial),
+        cp = gbs(t_comp_parallel),
+        ds = gbs(t_dec_serial),
+        dp = gbs(t_dec_parallel),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Keep the measurement honest: the decompressed data must round-trip.
+    let check: Vec<f32> = pfpl::decompress(&archive, Mode::Serial).unwrap();
+    assert!(vals
+        .iter()
+        .zip(&check)
+        .all(|(a, b)| (a - b).abs() <= BOUND as f32 + 1e-7));
+    let _ = back;
 }

@@ -32,6 +32,12 @@ fn main() -> ExitCode {
 
 fn run(argv: &[String]) -> Result<String, String> {
     let (cmd, opts) = Opts::parse(argv)?;
+    if let Some(n) = opts.threads()? {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| format!("--threads: {e}"))?;
+    }
     match cmd.as_str() {
         "compress" => compress(&opts),
         "decompress" => decompress(&opts),
@@ -39,6 +45,15 @@ fn run(argv: &[String]) -> Result<String, String> {
         "verify" => verify(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Uncompressed-bytes-per-second throughput, the convention used
+/// throughout the paper's tables.
+fn gbs(bytes: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / secs / 1e9
 }
 
 fn read_values_f32(path: &str) -> Result<Vec<f32>, String> {
@@ -68,6 +83,7 @@ fn compress(o: &Opts) -> Result<String, String> {
     let output = o.require("-o")?;
     let bound = o.bound()?;
     let mode = o.mode();
+    let start = std::time::Instant::now();
     let (archive, stats) = if o.is_double()? {
         let data = read_values_f64(input)?;
         pfpl::compress_with_stats(&data, bound, mode).map_err(|e| e.to_string())?
@@ -75,14 +91,17 @@ fn compress(o: &Opts) -> Result<String, String> {
         let data = read_values_f32(input)?;
         pfpl::compress_with_stats(&data, bound, mode).map_err(|e| e.to_string())?
     };
+    let secs = start.elapsed().as_secs_f64();
+    let word = if o.is_double()? { 8 } else { 4 };
     std::fs::write(output, &archive).map_err(|e| format!("{output}: {e}"))?;
     Ok(format!(
-        "{} -> {} | {} values, ratio {:.2}x, unquantizable {:.4}%",
+        "{} -> {} | {} values, ratio {:.2}x, unquantizable {:.4}%, {:.3} GB/s",
         input,
         output,
         stats.total_values,
         stats.ratio(),
-        stats.lossless_fraction() * 100.0
+        stats.lossless_fraction() * 100.0,
+        gbs(stats.total_values as usize * word, secs)
     ))
 }
 
@@ -92,6 +111,7 @@ fn decompress(o: &Opts) -> Result<String, String> {
     let archive = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
     let (header, _, _) = Header::read(&archive).map_err(|e| e.to_string())?;
     let mode = o.mode();
+    let start = std::time::Instant::now();
     let bytes: Vec<u8> = match header.precision {
         Precision::Single => {
             let vals: Vec<f32> = pfpl::decompress(&archive, mode).map_err(|e| e.to_string())?;
@@ -102,10 +122,17 @@ fn decompress(o: &Opts) -> Result<String, String> {
             vals.iter().flat_map(|v| v.to_le_bytes()).collect()
         }
     };
+    let secs = start.elapsed().as_secs_f64();
     std::fs::write(output, &bytes).map_err(|e| format!("{output}: {e}"))?;
     Ok(format!(
-        "{} -> {} | {} values ({:?}, {:?} bound {:.3e})",
-        input, output, header.count, header.precision, header.kind, header.user_bound
+        "{} -> {} | {} values ({:?}, {:?} bound {:.3e}), {:.3} GB/s",
+        input,
+        output,
+        header.count,
+        header.precision,
+        header.kind,
+        header.user_bound,
+        gbs(bytes.len(), secs)
     ))
 }
 

@@ -6,8 +6,8 @@ use std::collections::HashMap;
 /// Usage text printed on errors.
 pub const USAGE: &str = "\
 usage:
-  pfpl compress   -i <raw floats> -o <archive> --type f32|f64 --bound abs|rel|noa --eb <value> [--serial]
-  pfpl decompress -i <archive> -o <raw floats> [--serial]
+  pfpl compress   -i <raw floats> -o <archive> --type f32|f64 --bound abs|rel|noa --eb <value> [--serial] [--threads N]
+  pfpl decompress -i <archive> -o <raw floats> [--serial] [--threads N]
   pfpl info       -i <archive>
   pfpl verify     -i <raw floats> -a <archive>";
 
@@ -70,6 +70,17 @@ impl Opts {
         crate::make_bound(kind, eb)
     }
 
+    /// Parse `--threads` (worker count for the parallel mode), if given.
+    pub fn threads(&self) -> Result<Option<usize>, String> {
+        match self.flags.get("--threads") {
+            None => Ok(None),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!("bad --threads value `{v}` (positive integer)")),
+            },
+        }
+    }
+
     /// Execution mode (`--serial` opts out of the parallel default).
     pub fn mode(&self) -> Mode {
         if self.bools.iter().any(|b| b == "--serial") {
@@ -100,6 +111,17 @@ mod tests {
         assert!(!o.is_double().unwrap());
         assert!(matches!(o.bound().unwrap(), ErrorBound::Rel(v) if v == 1e-4));
         assert!(matches!(o.mode(), Mode::Serial));
+        assert_eq!(o.threads().unwrap(), None);
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let (_, o) = Opts::parse(&sv(&["compress", "--threads", "4"])).unwrap();
+        assert_eq!(o.threads().unwrap(), Some(4));
+        let (_, o) = Opts::parse(&sv(&["compress", "--threads", "0"])).unwrap();
+        assert!(o.threads().is_err());
+        let (_, o) = Opts::parse(&sv(&["compress", "--threads", "four"])).unwrap();
+        assert!(o.threads().is_err());
     }
 
     #[test]

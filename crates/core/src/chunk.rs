@@ -6,6 +6,12 @@
 //! fusing all four stages"). Chunks whose compressed form would be at least
 //! as large as the raw data are stored raw and flagged, capping worst-case
 //! expansion at the size table's 4 bytes per chunk.
+//!
+//! Both directions are allocation-free in steady state: the zero-elimination
+//! output is *staged* in [`Scratch`] and only emitted once the raw-fallback
+//! decision is known — either appended to a growing archive
+//! ([`compress_chunk`]) or written into a caller-provided slab slot
+//! ([`compress_chunk_into`]).
 
 use crate::error::{Error, Result};
 use crate::float::{PfplFloat, Word};
@@ -20,20 +26,22 @@ pub const fn values_per_chunk<F: PfplFloat>() -> usize {
     CHUNK_BYTES / (F::Bits::BITS as usize / 8)
 }
 
-/// Reusable scratch buffers so the serial path never reallocates
-/// (the paper's "two 16 kB buffers that are alternately used").
+/// Reusable scratch buffers so compression and decompression never allocate
+/// per chunk (the paper's "two 16 kB buffers that are alternately used").
+/// Buffers are allocated empty and grow to the chunk working set on first
+/// use.
 pub struct Scratch<F: PfplFloat> {
     words: Vec<F::Bits>,
     bytes: Vec<u8>,
-    payload: Vec<u8>,
+    ze: zeroelim::Scratch,
 }
 
 impl<F: PfplFloat> Default for Scratch<F> {
     fn default() -> Self {
         Self {
             words: Vec::with_capacity(values_per_chunk::<F>()),
-            bytes: vec![0u8; CHUNK_BYTES],
-            payload: Vec::with_capacity(CHUNK_BYTES),
+            bytes: Vec::with_capacity(CHUNK_BYTES),
+            ze: zeroelim::Scratch::default(),
         }
     }
 }
@@ -49,13 +57,14 @@ pub struct ChunkInfo {
     pub lossless_values: u64,
 }
 
-/// Compress one chunk of values, appending the payload to `out`.
-pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
+/// Run stages 0–3 (quantize, delta+negabinary, shuffle, zero-elimination),
+/// leaving the encoded payload staged in `scratch.ze`. Returns the staged
+/// payload length and the quantizer's lossless-word count.
+fn encode_stages<F: PfplFloat, Q: Quantizer<F>>(
     q: &Q,
     vals: &[F],
     scratch: &mut Scratch<F>,
-    out: &mut Vec<u8>,
-) -> ChunkInfo {
+) -> (usize, u64) {
     debug_assert!(vals.len() <= values_per_chunk::<F>());
     let word_bytes = F::Bits::BITS as usize / 8;
     let raw_len = vals.len() * word_bytes;
@@ -73,31 +82,80 @@ pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     delta::encode_in_place(&mut scratch.words);
 
     // Stage 2: bit shuffle into the byte buffer.
-    let bytes = &mut scratch.bytes[..raw_len];
-    shuffle::encode(&scratch.words, bytes);
+    scratch.bytes.resize(raw_len, 0);
+    shuffle::encode(&scratch.words, &mut scratch.bytes);
 
-    // Stage 3: zero-byte elimination.
-    scratch.payload.clear();
-    zeroelim::encode(bytes, &mut scratch.payload);
+    // Stage 3: zero-byte elimination, staged (not yet emitted).
+    let enc_len = zeroelim::encode_to_scratch(&scratch.bytes, &mut scratch.ze);
+    (enc_len, lossless)
+}
 
-    if scratch.payload.len() >= raw_len {
+/// Store `vals` unchanged (little-endian bit patterns) into `dst`.
+fn write_raw<F: PfplFloat>(vals: &[F], dst: &mut [u8]) {
+    let word_bytes = F::Bits::BITS as usize / 8;
+    for (d, &v) in dst.chunks_exact_mut(word_bytes).zip(vals) {
+        v.to_bits().write_le(d);
+    }
+}
+
+/// Compress one chunk of values, appending the payload to `out`.
+pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+    out: &mut Vec<u8>,
+) -> ChunkInfo {
+    let raw_len = vals.len() * (F::Bits::BITS as usize / 8);
+    let (enc_len, lossless) = encode_stages(q, vals, scratch);
+    if enc_len >= raw_len {
         // Incompressible: emit the original values unchanged (lossless).
         let start = out.len();
         out.resize(start + raw_len, 0);
-        for (i, &v) in vals.iter().enumerate() {
-            v.to_bits()
-                .write_le(&mut out[start + i * word_bytes..start + (i + 1) * word_bytes]);
-        }
+        write_raw(vals, &mut out[start..]);
         ChunkInfo {
             raw: true,
             lossless_values: 0,
         }
     } else {
-        out.extend_from_slice(&scratch.payload);
+        zeroelim::append_encoded(&scratch.ze, out);
         ChunkInfo {
             raw: false,
             lossless_values: lossless,
         }
+    }
+}
+
+/// Compress one chunk of values into the start of `slot`, returning the
+/// number of bytes written. `slot` must hold at least `vals.len()` words
+/// (the payload never exceeds the raw size, so a [`CHUNK_BYTES`] slot
+/// always suffices). This is the slab entry point for parallel workers:
+/// each worker owns a disjoint slot and no intermediate `Vec` exists.
+pub fn compress_chunk_into<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+    slot: &mut [u8],
+) -> (usize, ChunkInfo) {
+    let raw_len = vals.len() * (F::Bits::BITS as usize / 8);
+    let (enc_len, lossless) = encode_stages(q, vals, scratch);
+    if enc_len >= raw_len {
+        write_raw(vals, &mut slot[..raw_len]);
+        (
+            raw_len,
+            ChunkInfo {
+                raw: true,
+                lossless_values: 0,
+            },
+        )
+    } else {
+        zeroelim::write_encoded(&scratch.ze, &mut slot[..enc_len]);
+        (
+            enc_len,
+            ChunkInfo {
+                raw: false,
+                lossless_values: lossless,
+            },
+        )
     }
 }
 
@@ -118,12 +176,13 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
                 payload.len()
             )));
         }
-        for (i, v) in vals.iter_mut().enumerate() {
-            *v = F::from_bits(F::Bits::read_le(&payload[i * word_bytes..(i + 1) * word_bytes]));
+        // Bulk little-endian copy — no per-value cursor arithmetic.
+        for (v, s) in vals.iter_mut().zip(payload.chunks_exact(word_bytes)) {
+            *v = F::from_bits(F::Bits::read_le(s));
         }
         return Ok(());
     }
-    let (bytes, used) = zeroelim::decode(payload, raw_len)?;
+    let used = zeroelim::decode_into(payload, raw_len, &mut scratch.ze, &mut scratch.bytes)?;
     if used != payload.len() {
         return Err(Error::Corrupt(format!(
             "chunk payload has {} trailing bytes",
@@ -132,7 +191,7 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     }
     scratch.words.clear();
     scratch.words.resize(vals.len(), F::Bits::ZERO);
-    shuffle::decode(&bytes, &mut scratch.words);
+    shuffle::decode(&scratch.bytes, &mut scratch.words);
     delta::decode_in_place(&mut scratch.words);
     for (v, &w) in vals.iter_mut().zip(scratch.words.iter()) {
         *v = q.decode(w);
@@ -143,7 +202,7 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::quantize::{AbsQuantizer, PassthroughQuantizer, Quantizer, RelQuantizer};
+    use crate::quantize::{AbsQuantizer, PassthroughQuantizer, RelQuantizer};
 
     fn roundtrip_abs(vals: &[f32], eb: f32) {
         let q = AbsQuantizer::<f32>::new(eb).unwrap();
@@ -245,5 +304,36 @@ mod tests {
             "lossless_values = {}",
             info.lossless_values
         );
+    }
+
+    #[test]
+    fn slot_and_append_agree() {
+        // compress_chunk and compress_chunk_into must emit identical bytes
+        // for compressible, raw, partial, and empty chunks.
+        let cases: Vec<Vec<f32>> = vec![
+            (0..4096).map(|i| (i as f32 * 0.001).sin()).collect(),
+            {
+                let mut x = 0x9E3779B9u64;
+                (0..4096)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        f32::from_bits(((x >> 33) as u32 & 0x7FFF_FFFF) % 0x7F00_0000)
+                    })
+                    .collect()
+            },
+            (0..123).map(|i| i as f32 * 0.5).collect(),
+            vec![],
+        ];
+        let q = AbsQuantizer::<f32>::new(1e-3).unwrap();
+        let mut scratch = Scratch::default();
+        for vals in &cases {
+            let mut appended = Vec::new();
+            let info_a = compress_chunk(&q, vals, &mut scratch, &mut appended);
+            let mut slot = vec![0u8; CHUNK_BYTES];
+            let (len, info_b) = compress_chunk_into(&q, vals, &mut scratch, &mut slot);
+            assert_eq!(info_a.raw, info_b.raw);
+            assert_eq!(info_a.lossless_values, info_b.lossless_values);
+            assert_eq!(&slot[..len], &appended[..]);
+        }
     }
 }

@@ -4,9 +4,16 @@
 //! `pfpl-device-sim`) produce **bit-for-bit identical** archives: chunking
 //! makes the work units independent, and every arithmetic operation in the
 //! pipeline is IEEE-exact, so only scheduling differs.
+//!
+//! Archive assembly is single-pass in both modes. Serial compression
+//! reserves the header and size table up front, streams chunk payloads
+//! directly into the archive, and backpatches the table. Parallel
+//! compression gives each worker a disjoint slot in a pre-allocated slab
+//! and compacts the slots with one exclusive-prefix-sum pass. Neither mode
+//! allocates or copies per-chunk intermediates.
 
-use crate::chunk::{self, Scratch};
-use crate::container::{chunk_offsets, Header, RAW_FLAG};
+use crate::chunk::{self, Scratch, CHUNK_BYTES};
+use crate::container::{chunk_offsets, patch_size_table, Header, HEADER_LEN, RAW_FLAG};
 use crate::error::{Error, Result};
 use crate::float::{bound_toward_zero, PfplFloat, Word};
 use crate::quantize::{
@@ -76,45 +83,6 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
         )));
     }
 
-    // Compress all chunks (each into its own buffer in parallel mode; the
-    // serial path reuses one scratch set, mirroring the paper's L1-resident
-    // double buffer).
-    let results: Vec<(Vec<u8>, chunk::ChunkInfo)> = match mode {
-        Mode::Serial => {
-            let mut scratch = Scratch::default();
-            data.chunks(vpc)
-                .map(|c| {
-                    let mut out = Vec::new();
-                    let info = chunk::compress_chunk(q, c, &mut scratch, &mut out);
-                    (out, info)
-                })
-                .collect()
-        }
-        Mode::Parallel => data
-            .par_chunks(vpc)
-            .map_init(Scratch::default, |scratch, c| {
-                let mut out = Vec::new();
-                let info = chunk::compress_chunk(q, c, scratch, &mut out);
-                (out, info)
-            })
-            .collect(),
-    };
-
-    let mut sizes = Vec::with_capacity(nchunks);
-    let mut lossless = 0u64;
-    let mut raw_chunks = 0u64;
-    let mut payload_len = 0usize;
-    for (buf, info) in &results {
-        let mut s = buf.len() as u32;
-        if info.raw {
-            s |= RAW_FLAG;
-            raw_chunks += 1;
-        }
-        sizes.push(s);
-        lossless += info.lossless_values;
-        payload_len += buf.len();
-    }
-
     let header = Header {
         precision: F::PRECISION,
         kind: bound.kind(),
@@ -124,12 +92,72 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
         count: data.len() as u64,
         chunk_count: nchunks as u32,
     };
-    let mut archive =
-        Vec::with_capacity(crate::container::HEADER_LEN + 4 * nchunks + payload_len);
-    header.write(&sizes, &mut archive);
-    for (buf, _) in &results {
-        archive.extend_from_slice(buf);
-    }
+
+    let mut lossless = 0u64;
+    let mut raw_chunks = 0u64;
+    let archive = match mode {
+        Mode::Serial => {
+            // Single-pass assembly: reserve header + size table up front
+            // (worst-case payload capacity so the Vec never reallocates),
+            // stream each chunk's payload straight into the archive, then
+            // backpatch the size table. One scratch set is reused for every
+            // chunk, mirroring the paper's L1-resident double buffer — no
+            // per-chunk buffer, no second copy, no per-chunk allocation.
+            let raw_total = data.len() * (F::Bits::BITS as usize / 8);
+            let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + raw_total);
+            header.write_placeholder(&mut archive);
+            let mut sizes = vec![0u32; nchunks];
+            let mut scratch = Scratch::default();
+            for (i, c) in data.chunks(vpc).enumerate() {
+                let start = archive.len();
+                let info = chunk::compress_chunk(q, c, &mut scratch, &mut archive);
+                let mut s = (archive.len() - start) as u32;
+                if info.raw {
+                    s |= RAW_FLAG;
+                    raw_chunks += 1;
+                }
+                sizes[i] = s;
+                lossless += info.lossless_values;
+            }
+            patch_size_table(&mut archive, &sizes);
+            archive
+        }
+        Mode::Parallel => {
+            // Slab assembly: one CHUNK_BYTES slot per chunk (payloads never
+            // exceed the raw size, so every payload fits its slot). Workers
+            // compress into disjoint slots via par_chunks_mut — no per-chunk
+            // buffers — then a sequential exclusive-prefix-sum pass compacts
+            // the slots into the final archive.
+            let mut slab = vec![0u8; nchunks * CHUNK_BYTES];
+            let metas: Vec<(usize, chunk::ChunkInfo)> = slab
+                .par_chunks_mut(CHUNK_BYTES)
+                .enumerate()
+                .map_init(Scratch::default, |scratch, (i, slot)| {
+                    let lo = i * vpc;
+                    let hi = data.len().min(lo + vpc);
+                    chunk::compress_chunk_into(q, &data[lo..hi], scratch, slot)
+                })
+                .collect();
+            let mut sizes = Vec::with_capacity(nchunks);
+            let mut payload_len = 0usize;
+            for (len, info) in &metas {
+                let mut s = *len as u32;
+                if info.raw {
+                    s |= RAW_FLAG;
+                    raw_chunks += 1;
+                }
+                sizes.push(s);
+                lossless += info.lossless_values;
+                payload_len += len;
+            }
+            let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + payload_len);
+            header.write(&sizes, &mut archive);
+            for (i, (len, _)) in metas.iter().enumerate() {
+                archive.extend_from_slice(&slab[i * CHUNK_BYTES..i * CHUNK_BYTES + len]);
+            }
+            archive
+        }
+    };
 
     let stats = CompressStats {
         total_values: data.len() as u64,
@@ -276,7 +304,7 @@ mod tests {
     #[test]
     fn rel_roundtrip_within_bound() {
         let data: Vec<f64> = (0..50_000)
-            .map(|i| ((i as f64 * 0.001).sin() + 1.5) * 10f64.powi((i % 7) as i32 - 3))
+            .map(|i| ((i as f64 * 0.001).sin() + 1.5) * 10f64.powi((i % 7) - 3))
             .collect();
         let eb = 1e-3;
         let arch = compress(&data, ErrorBound::Rel(eb), Mode::Parallel).unwrap();

@@ -54,9 +54,8 @@ pub struct Header {
 }
 
 impl Header {
-    /// Serialize the header and size table into `out`.
-    pub fn write(&self, sizes: &[u32], out: &mut Vec<u8>) {
-        debug_assert_eq!(sizes.len(), self.chunk_count as usize);
+    /// Serialize the fixed 36-byte header (without the size table).
+    fn write_fixed(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC.to_le_bytes());
         out.extend_from_slice(&VERSION.to_le_bytes());
         let flags = self.precision.tag()
@@ -68,9 +67,26 @@ impl Header {
         out.extend_from_slice(&self.derived_bound.to_bits().to_le_bytes());
         out.extend_from_slice(&self.count.to_le_bytes());
         out.extend_from_slice(&self.chunk_count.to_le_bytes());
+    }
+
+    /// Serialize the header and size table into `out`.
+    pub fn write(&self, sizes: &[u32], out: &mut Vec<u8>) {
+        debug_assert_eq!(sizes.len(), self.chunk_count as usize);
+        self.write_fixed(out);
         for &s in sizes {
             out.extend_from_slice(&s.to_le_bytes());
         }
+    }
+
+    /// Serialize the header followed by a zeroed size-table placeholder.
+    ///
+    /// Single-pass assembly: reserve the table up front, stream chunk
+    /// payloads directly after it, then backpatch the real sizes with
+    /// [`patch_size_table`] once they are known.
+    pub fn write_placeholder(&self, out: &mut Vec<u8>) {
+        self.write_fixed(out);
+        let table = self.chunk_count as usize * 4;
+        out.resize(out.len() + table, 0);
     }
 
     /// Parse a header and size table; returns the header, the size table,
@@ -125,6 +141,17 @@ impl Header {
             chunk_count,
         };
         Ok((header, sizes, table_end))
+    }
+}
+
+/// Overwrite the size-table region of an archive whose header was written
+/// with [`Header::write_placeholder`]. The archive must start at the
+/// header (table at [`HEADER_LEN`]) and hold at least `4 * sizes.len()`
+/// table bytes.
+pub fn patch_size_table(archive: &mut [u8], sizes: &[u32]) {
+    let table = &mut archive[HEADER_LEN..HEADER_LEN + sizes.len() * 4];
+    for (slot, &s) in table.chunks_exact_mut(4).zip(sizes) {
+        slot.copy_from_slice(&s.to_le_bytes());
     }
 }
 
@@ -188,6 +215,19 @@ mod tests {
         bad[6] |= 0b110; // invalid bound kind 3
         assert!(Header::read(&bad).is_err());
         assert!(Header::read(&buf[..40]).is_err(), "truncated size table");
+    }
+
+    #[test]
+    fn placeholder_plus_patch_matches_direct_write() {
+        let h = sample_header();
+        let sizes = vec![100, 200 | RAW_FLAG, 50];
+        let mut direct = Vec::new();
+        h.write(&sizes, &mut direct);
+        let mut patched = Vec::new();
+        h.write_placeholder(&mut patched);
+        assert_eq!(patched.len(), HEADER_LEN + 12);
+        patch_size_table(&mut patched, &sizes);
+        assert_eq!(direct, patched);
     }
 
     #[test]

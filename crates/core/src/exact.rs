@@ -114,7 +114,7 @@ pub fn abs_within_f32(v: f32, r: f32, eb: f32) -> bool {
 
 /// Magnitudes below this are rescaled before TwoProd so the Dekker residual
 /// cannot be contaminated by denormal underflow.
-const TINY: f64 = 3.0549363634996047e-151; // 2^-500
+const TINY: f64 = 3.054936363499605e-151; // 2^-500
 /// Exact scale factor 2^600 (power-of-two multiplications are exact in the
 /// ranges we use them).
 const SCALE_UP: f64 = 4.149515568880993e180; // 2^600

@@ -53,6 +53,27 @@ pub trait Word:
     fn write_le(self, out: &mut [u8]);
     /// Read a word from little-endian bytes (`src.len() == BITS/8`).
     fn read_le(src: &[u8]) -> Self;
+
+    /// Write `words` into `out` in little-endian order
+    /// (`out.len() == words.len() * BITS/8`). The fixed-stride loop
+    /// compiles to a straight memcpy on little-endian targets.
+    fn write_slice_le(words: &[Self], out: &mut [u8]) {
+        let wb = Self::BITS as usize / 8;
+        debug_assert_eq!(out.len(), words.len() * wb);
+        for (dst, &w) in out.chunks_exact_mut(wb).zip(words) {
+            w.write_le(dst);
+        }
+    }
+
+    /// Read `out.len()` words from little-endian `src`
+    /// (`src.len() == out.len() * BITS/8`).
+    fn read_slice_le(src: &[u8], out: &mut [Self]) {
+        let wb = Self::BITS as usize / 8;
+        debug_assert_eq!(src.len(), out.len() * wb);
+        for (w, s) in out.iter_mut().zip(src.chunks_exact(wb)) {
+            *w = Self::read_le(s);
+        }
+    }
 }
 
 impl Word for u32 {

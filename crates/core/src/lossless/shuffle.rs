@@ -79,7 +79,7 @@ pub fn encode<W: Transpose>(words: &[W], out: &mut [u8]) {
     let bits = W::BITS as usize;
     assert_eq!(out.len(), n * bits / 8, "output buffer size");
     out.fill(0);
-    if n % bits == 0 && n > 0 {
+    if n.is_multiple_of(bits) && n > 0 {
         encode_fast(words, out);
     } else {
         encode_scalar(words, out);
@@ -105,10 +105,12 @@ fn encode_fast<W: Transpose>(words: &[W], out: &mut [u8]) {
     let n = words.len();
     let plane_bytes = n / 8;
     let word_bytes = bits / 8;
-    let mut block = vec![W::ZERO; bits];
+    // Stack scratch (BITS ≤ 64): the hot path must not touch the heap.
+    let mut buf = [W::ZERO; 64];
+    let block = &mut buf[..bits];
     for g in 0..n / bits {
         block.copy_from_slice(&words[g * bits..(g + 1) * bits]);
-        W::transpose_block(&mut block);
+        W::transpose_block(block);
         for p in 0..bits {
             let t = block[bits - 1 - p];
             let off = p * plane_bytes + g * word_bytes;
@@ -123,7 +125,7 @@ pub fn decode<W: Transpose>(bytes: &[u8], words: &mut [W]) {
     let n = words.len();
     let bits = W::BITS as usize;
     assert_eq!(bytes.len(), n * bits / 8, "input buffer size");
-    if n % bits == 0 && n > 0 {
+    if n.is_multiple_of(bits) && n > 0 {
         decode_fast(bytes, words);
     } else {
         decode_scalar(bytes, words);
@@ -152,14 +154,16 @@ fn decode_fast<W: Transpose>(bytes: &[u8], words: &mut [W]) {
     let n = words.len();
     let plane_bytes = n / 8;
     let word_bytes = bits / 8;
-    let mut block = vec![W::ZERO; bits];
+    // Stack scratch (BITS ≤ 64): the hot path must not touch the heap.
+    let mut buf = [W::ZERO; 64];
+    let block = &mut buf[..bits];
     for g in 0..n / bits {
         for p in 0..bits {
             let off = p * plane_bytes + g * word_bytes;
             block[bits - 1 - p] = W::read_le(&bytes[off..off + word_bytes]);
         }
-        W::transpose_block(&mut block);
-        words[g * bits..(g + 1) * bits].copy_from_slice(&block);
+        W::transpose_block(block);
+        words[g * bits..(g + 1) * bits].copy_from_slice(block);
     }
 }
 
@@ -169,6 +173,7 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) index both matrices symmetrically
     fn transpose_is_transpose() {
         let mut block: Vec<u32> = (0..32).map(|i| 0x9E37_79B9u32.rotate_left(i)).collect();
         let orig = block.clone();
@@ -187,6 +192,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (i, j) index both matrices symmetrically
     fn transpose64_involution() {
         let mut block: Vec<u64> = (0..64)
             .map(|i| 0x9E37_79B9_7F4A_7C15u64.rotate_left(i))

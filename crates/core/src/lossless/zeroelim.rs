@@ -16,6 +16,14 @@
 //!
 //! where `nonrep_k` are the non-repeating bytes of `bitmap_{k-1}` flagged by
 //! `bitmap_k` (predecessor initialized to zero at each level).
+//!
+//! Encoding is split into a staging step ([`encode_to_scratch`]) that
+//! computes every piece into reusable [`Scratch`] buffers and returns the
+//! total serialized length, and emit steps ([`append_encoded`] /
+//! [`write_encoded`]) that assemble the pieces into a `Vec` or a
+//! caller-provided slot. This lets the chunk pipeline decide raw fallback
+//! *before* any archive bytes are written, and lets parallel workers write
+//! straight into disjoint slab slots — no per-chunk allocation either way.
 
 use crate::error::{Error, Result};
 
@@ -26,12 +34,28 @@ fn bitmap_len(n: usize) -> usize {
     n.div_ceil(8)
 }
 
-/// Flag nonzero bytes of `src` into a fresh bitmap and append the nonzero
-/// bytes themselves to `data`. Processes 8 bytes per step with a SWAR
+/// Reusable buffers for [`encode_to_scratch`] and [`decode_into`]. All
+/// buffers start empty and grow to the working set of the first chunk;
+/// steady-state use performs no heap allocation.
+#[derive(Default)]
+pub struct Scratch {
+    /// Surviving (nonzero) data bytes.
+    data: Vec<u8>,
+    /// Non-repeating bytes of bitmap levels 0..LEVELS-1.
+    nonreps: [Vec<u8>; LEVELS],
+    /// Ping-pong bitmap buffers; after staging, `bitmap_a` holds the top
+    /// (level-`LEVELS`) bitmap.
+    bitmap_a: Vec<u8>,
+    bitmap_b: Vec<u8>,
+}
+
+/// Flag nonzero bytes of `src` into `bitmap` and append the nonzero bytes
+/// themselves to `data`. Processes 8 bytes per step with a SWAR
 /// nonzero-byte mask; all-zero and all-nonzero groups take fast paths
 /// (zero groups dominate for compressible data).
-fn build_nonzero(src: &[u8], data: &mut Vec<u8>) -> Vec<u8> {
-    let mut bitmap = vec![0u8; bitmap_len(src.len())];
+fn build_nonzero_into(src: &[u8], bitmap: &mut Vec<u8>, data: &mut Vec<u8>) {
+    bitmap.clear();
+    bitmap.resize(bitmap_len(src.len()), 0);
     let mut chunks = src.chunks_exact(8);
     let mut bi = 0usize;
     for chunk in &mut chunks {
@@ -55,7 +79,6 @@ fn build_nonzero(src: &[u8], data: &mut Vec<u8>) -> Vec<u8> {
             data.push(v);
         }
     }
-    bitmap
 }
 
 /// SWAR: bit `i` of the result is set iff byte `i` of `x` is nonzero.
@@ -70,36 +93,101 @@ fn nonzero_byte_mask(x: u64) -> u8 {
 
 /// Flag bytes of `src` that differ from their predecessor (predecessor
 /// initialized to 0) and append those bytes to `data`.
-fn build_nonrepeat(src: &[u8], data: &mut Vec<u8>) -> Vec<u8> {
-    let mut bitmap = vec![0u8; bitmap_len(src.len())];
+///
+/// Works on 8-byte groups: `y = x ^ ((x << 8) | prev)` has a zero byte
+/// exactly where a byte repeats its predecessor, so `y == 0` (all repeat)
+/// and the classic SWAR zero-byte probe `(y - 0x0101…) & !y & 0x8080…`
+/// (zero ⇒ no repeats at all) route the two common cases on bitmap data —
+/// long constant runs and dense change regions — past the per-byte loop.
+/// The probe can report spurious zero bytes (a 0x01 directly above a zero
+/// byte), so per-byte extraction uses the exact [`nonzero_byte_mask`].
+fn build_nonrepeat_into(src: &[u8], bitmap: &mut Vec<u8>, data: &mut Vec<u8>) {
+    bitmap.clear();
+    bitmap.resize(bitmap_len(src.len()), 0);
     let mut prev = 0u8;
-    for (i, &b) in src.iter().enumerate() {
-        if b != prev {
-            bitmap[i >> 3] |= 1 << (i & 7);
-            data.push(b);
+    let mut chunks = src.chunks_exact(8);
+    let mut bi = 0usize;
+    for chunk in &mut chunks {
+        let x = u64::from_le_bytes(chunk.try_into().unwrap());
+        // byte i of y = src byte i XOR its predecessor
+        let y = x ^ ((x << 8) | prev as u64);
+        prev = (x >> 56) as u8;
+        if y == 0 {
+            bi += 1; // all eight bytes repeat; bitmap byte stays 0
+            continue;
         }
-        prev = b;
+        const ONES: u64 = 0x0101_0101_0101_0101;
+        const HIGH: u64 = 0x8080_8080_8080_8080;
+        if y.wrapping_sub(ONES) & !y & HIGH == 0 {
+            // no zero byte in y: every byte differs from its predecessor
+            bitmap[bi] = 0xFF;
+            data.extend_from_slice(chunk);
+        } else {
+            let mask = nonzero_byte_mask(y);
+            bitmap[bi] = mask;
+            for (b, &v) in chunk.iter().enumerate() {
+                if mask >> b & 1 == 1 {
+                    data.push(v);
+                }
+            }
+        }
+        bi += 1;
     }
-    bitmap
+    for (b, &v) in chunks.remainder().iter().enumerate() {
+        if v != prev {
+            bitmap[bi] |= 1 << b;
+            data.push(v);
+        }
+        prev = v;
+    }
+}
+
+/// Stage the encoding of `input` into `s`, returning the total serialized
+/// length. No bytes are emitted; follow with [`append_encoded`] or
+/// [`write_encoded`] (the staged pieces stay valid until the next
+/// `encode_to_scratch`/`decode_into` call on the same scratch).
+pub fn encode_to_scratch(input: &[u8], s: &mut Scratch) -> usize {
+    s.data.clear();
+    build_nonzero_into(input, &mut s.bitmap_a, &mut s.data);
+    for nr in &mut s.nonreps {
+        nr.clear();
+        build_nonrepeat_into(&s.bitmap_a, &mut s.bitmap_b, nr);
+        std::mem::swap(&mut s.bitmap_a, &mut s.bitmap_b);
+    }
+    s.bitmap_a.len() + s.nonreps.iter().map(Vec::len).sum::<usize>() + s.data.len()
+}
+
+/// Append the encoding staged in `s` to `out`.
+pub fn append_encoded(s: &Scratch, out: &mut Vec<u8>) {
+    out.extend_from_slice(&s.bitmap_a); // bitmap_LEVELS
+    for nr in s.nonreps.iter().rev() {
+        out.extend_from_slice(nr);
+    }
+    out.extend_from_slice(&s.data);
+}
+
+/// Write the encoding staged in `s` into `dst`, whose length must equal the
+/// value returned by the matching [`encode_to_scratch`] call.
+pub fn write_encoded(s: &Scratch, dst: &mut [u8]) {
+    let mut off = 0usize;
+    for part in std::iter::once(&s.bitmap_a)
+        .chain(s.nonreps.iter().rev())
+        .chain(std::iter::once(&s.data))
+    {
+        dst[off..off + part.len()].copy_from_slice(part);
+        off += part.len();
+    }
+    debug_assert_eq!(off, dst.len());
 }
 
 /// Compress `input` and append the serialized form to `out`.
+///
+/// Convenience wrapper over [`encode_to_scratch`] + [`append_encoded`] that
+/// allocates a fresh [`Scratch`]; hot paths should hold their own.
 pub fn encode(input: &[u8], out: &mut Vec<u8>) {
-    let mut data = Vec::with_capacity(input.len() / 2);
-    let bitmap0 = build_nonzero(input, &mut data);
-    let mut nonreps: Vec<Vec<u8>> = Vec::with_capacity(LEVELS);
-    let mut bitmap = bitmap0;
-    for _ in 0..LEVELS {
-        let mut nr = Vec::new();
-        let next = build_nonrepeat(&bitmap, &mut nr);
-        nonreps.push(nr);
-        bitmap = next;
-    }
-    out.extend_from_slice(&bitmap); // bitmap_LEVELS
-    for nr in nonreps.iter().rev() {
-        out.extend_from_slice(nr);
-    }
-    out.extend_from_slice(&data);
+    let mut s = Scratch::default();
+    encode_to_scratch(input, &mut s);
+    append_encoded(&s, out);
 }
 
 /// Size in bytes of the `k`-th level bitmap for an `n`-byte input
@@ -115,22 +203,23 @@ fn level_len(n: usize, k: usize) -> usize {
 fn popcount_prefix(bitmap: &[u8], nbits: usize) -> usize {
     let full = nbits / 8;
     let mut c: usize = bitmap[..full].iter().map(|b| b.count_ones() as usize).sum();
-    if nbits % 8 != 0 {
+    if !nbits.is_multiple_of(8) {
         c += (bitmap[full] & ((1u8 << (nbits % 8)) - 1)).count_ones() as usize;
     }
     c
 }
 
 /// Reconstruct a lower-level byte array of length `n` from its flag bitmap
-/// and the flagged bytes, using `rule` to produce unflagged bytes from the
-/// running predecessor.
-fn expand(
+/// and the flagged bytes into `out`, using `repeat_rule` to produce
+/// unflagged bytes from the running predecessor (zero-fill otherwise).
+fn expand_into(
     bitmap: &[u8],
     n: usize,
     payload: &[u8],
     cursor: &mut usize,
     repeat_rule: bool,
-) -> Result<Vec<u8>> {
+    out: &mut Vec<u8>,
+) -> Result<()> {
     let needed = popcount_prefix(bitmap, n);
     let avail = payload.len().saturating_sub(*cursor);
     if needed > avail {
@@ -138,7 +227,8 @@ fn expand(
             "zero-elimination payload truncated: need {needed} bytes, have {avail}"
         )));
     }
-    let mut out = vec![0u8; n];
+    out.clear();
+    out.resize(n, 0);
     if repeat_rule {
         let mut prev = 0u8;
         for (i, slot) in out.iter_mut().enumerate() {
@@ -182,13 +272,20 @@ fn expand(
             i += 1;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decompress a payload produced by [`encode`] for an input of
-/// `uncompressed_len` bytes. Returns the reconstructed bytes and the number
-/// of payload bytes consumed.
-pub fn decode(payload: &[u8], uncompressed_len: usize) -> Result<(Vec<u8>, usize)> {
+/// `uncompressed_len` bytes, writing the reconstructed bytes into `out`
+/// (cleared and resized). Returns the number of payload bytes consumed.
+/// Level bitmaps live in `s`; nothing is allocated once the scratch and
+/// `out` have grown to the chunk working set.
+pub fn decode_into(
+    payload: &[u8],
+    uncompressed_len: usize,
+    s: &mut Scratch,
+    out: &mut Vec<u8>,
+) -> Result<usize> {
     let n = uncompressed_len;
     let top_len = level_len(n, LEVELS);
     if payload.len() < top_len {
@@ -197,16 +294,31 @@ pub fn decode(payload: &[u8], uncompressed_len: usize) -> Result<(Vec<u8>, usize
             payload.len()
         )));
     }
-    let mut bitmap = payload[..top_len].to_vec();
+    s.bitmap_a.clear();
+    s.bitmap_a.extend_from_slice(&payload[..top_len]);
     let mut cursor = top_len;
     // Walk back down: bitmap_k flags the non-repeating bytes of bitmap_{k-1}.
     for k in (0..LEVELS).rev() {
         let lower_n = level_len(n, k);
-        bitmap = expand(&bitmap, lower_n, payload, &mut cursor, true)?;
+        expand_into(&s.bitmap_a, lower_n, payload, &mut cursor, true, &mut s.bitmap_b)?;
+        std::mem::swap(&mut s.bitmap_a, &mut s.bitmap_b);
     }
-    // bitmap is now the nonzero-byte bitmap of the original data.
-    let out = expand(&bitmap, n, payload, &mut cursor, false)?;
-    Ok((out, cursor))
+    // bitmap_a is now the nonzero-byte bitmap of the original data.
+    expand_into(&s.bitmap_a, n, payload, &mut cursor, false, out)?;
+    Ok(cursor)
+}
+
+/// Decompress a payload produced by [`encode`] for an input of
+/// `uncompressed_len` bytes. Returns the reconstructed bytes and the number
+/// of payload bytes consumed.
+///
+/// Convenience wrapper over [`decode_into`] that allocates fresh buffers;
+/// hot paths should hold their own [`Scratch`].
+pub fn decode(payload: &[u8], uncompressed_len: usize) -> Result<(Vec<u8>, usize)> {
+    let mut s = Scratch::default();
+    let mut out = Vec::new();
+    let used = decode_into(payload, uncompressed_len, &mut s, &mut out)?;
+    Ok((out, used))
 }
 
 #[cfg(test)]
@@ -279,6 +391,38 @@ mod tests {
         }
     }
 
+    #[test]
+    fn scratch_reuse_across_inputs() {
+        // One scratch must serve inputs of wildly different sizes in any
+        // order (large → small must not leak stale bytes).
+        let inputs: Vec<Vec<u8>> = vec![
+            (0..9000u32).map(|i| (i % 251) as u8).collect(),
+            vec![0u8; 17],
+            vec![],
+            (0..16384u32).map(|i| (i * 7 % 256) as u8).collect(),
+            vec![3u8; 100],
+        ];
+        let mut s = Scratch::default();
+        let mut out = Vec::new();
+        for input in &inputs {
+            let mut enc = Vec::new();
+            let total = encode_to_scratch(input, &mut s);
+            append_encoded(&s, &mut enc);
+            assert_eq!(enc.len(), total);
+
+            // write_encoded must produce identical bytes.
+            let total2 = encode_to_scratch(input, &mut s);
+            assert_eq!(total2, total);
+            let mut slot = vec![0u8; total];
+            write_encoded(&s, &mut slot);
+            assert_eq!(slot, enc);
+
+            let used = decode_into(&enc, input.len(), &mut s, &mut out).unwrap();
+            assert_eq!(used, enc.len());
+            assert_eq!(&out, input);
+        }
+    }
+
     proptest! {
         #[test]
         fn roundtrip_random(input: Vec<u8>) {
@@ -294,6 +438,26 @@ mod tests {
             let size = roundtrip(&input);
             // Sparse data must compress well below the raw size + overhead.
             prop_assert!(size <= n / 8 + 40 + input.iter().filter(|&&b| b != 0).count());
+        }
+
+        #[test]
+        fn swar_nonrepeat_matches_naive(src: Vec<u8>) {
+            let mut bitmap = Vec::new();
+            let mut data = Vec::new();
+            build_nonrepeat_into(&src, &mut bitmap, &mut data);
+            // Reference: one byte at a time.
+            let mut nb = vec![0u8; bitmap_len(src.len())];
+            let mut nd = Vec::new();
+            let mut prev = 0u8;
+            for (i, &b) in src.iter().enumerate() {
+                if b != prev {
+                    nb[i >> 3] |= 1 << (i & 7);
+                    nd.push(b);
+                }
+                prev = b;
+            }
+            prop_assert_eq!(&bitmap, &nb);
+            prop_assert_eq!(&data, &nd);
         }
     }
 }

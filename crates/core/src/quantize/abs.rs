@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn f64_roundtrip_bound() {
         let q = AbsQuantizer::<f64>::new(1e-6).unwrap();
-        for &v in &[0.0, 1.0, -1.0, 3.141592653589793, 1e-5, -2.5e-6, 1e12] {
+        for &v in &[0.0, 1.0, -1.0, std::f64::consts::PI, 1e-5, -2.5e-6, 1e12] {
             let r = q.decode(q.encode(v));
             assert!((v - r).abs() <= 1e-6, "v={v} r={r}");
         }

@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn f64_rel_bound() {
         let q = RelQuantizer::<f64>::new(1e-4).unwrap();
-        for &v in &[1.0f64, -1e300, 1e-300, 2.718281828459045, -42.0] {
+        for &v in &[1.0f64, -1e300, 1e-300, std::f64::consts::E, -42.0] {
             let r = q.decode(q.encode(v));
             let rel = ((v - r) / v).abs();
             assert!(rel <= 1e-4, "v={v} r={r} rel={rel}");
@@ -299,9 +299,7 @@ mod tests {
             if v.is_nan() {
                 prop_assert!(r.is_nan());
                 prop_assert_eq!(r.to_bits() & 0x7FFF_FFFF, bits & 0x7FFF_FFFF);
-            } else if !v.is_finite() {
-                prop_assert_eq!(r.to_bits(), bits);
-            } else if v == 0.0 {
+            } else if !v.is_finite() || v == 0.0 {
                 prop_assert_eq!(r.to_bits(), bits);
             } else {
                 prop_assert_eq!(r.is_sign_negative(), v.is_sign_negative());

@@ -8,8 +8,14 @@
 //! provides that interface.
 //!
 //! [`StreamCompressor::finish`] produces **byte-identical** output to
-//! [`crate::compress`] for the same concatenated input (tested), so
+//! [`crate::compress()`] for the same concatenated input (tested), so
 //! streamed archives interoperate with every other implementation.
+//!
+//! The encoder is allocation-free in steady state: chunk payloads stream
+//! straight onto the growing payload buffer through the shared scratch
+//! set, and chunk-aligned pushes bypass the pending buffer entirely.
+//! `finish` splices header, size table, and payloads with a single copy
+//! (the chunk count — and hence the table size — is unknown until then).
 //!
 //! NOA is not streamable — its derived bound needs the global value range
 //! before the first chunk is encoded — and is rejected at construction,
@@ -90,15 +96,15 @@ impl<F: PfplFloat> StreamCompressor<F> {
         })
     }
 
-    fn flush_chunk(&mut self) {
-        debug_assert!(!self.pending.is_empty());
+    /// Compress one chunk's worth of values straight onto `payloads`.
+    fn compress_vals(&mut self, vals: &[F]) {
         let start = self.payloads.len();
         let info = match &self.q {
             StreamQuantizer::Abs(q) => {
-                chunk::compress_chunk(q, &self.pending, &mut self.scratch, &mut self.payloads)
+                chunk::compress_chunk(q, vals, &mut self.scratch, &mut self.payloads)
             }
             StreamQuantizer::Rel(q) => {
-                chunk::compress_chunk(q, &self.pending, &mut self.scratch, &mut self.payloads)
+                chunk::compress_chunk(q, vals, &mut self.scratch, &mut self.payloads)
             }
         };
         let len = (self.payloads.len() - start) as u32;
@@ -106,15 +112,33 @@ impl<F: PfplFloat> StreamCompressor<F> {
             .push(len | if info.raw { RAW_FLAG } else { 0 });
         self.lossless += info.lossless_values;
         self.raw_chunks += info.raw as u64;
+    }
+
+    fn flush_chunk(&mut self) {
+        debug_assert!(!self.pending.is_empty());
+        // mem::take keeps the pending buffer's capacity; no allocation.
+        let pending = std::mem::take(&mut self.pending);
+        self.compress_vals(&pending);
+        self.pending = pending;
         self.pending.clear();
     }
 
     /// Append values to the stream.
+    ///
+    /// Full chunks that start at a chunk boundary are compressed directly
+    /// from `data` — they never pass through the pending buffer, so large
+    /// pushes cost one pipeline pass and zero staging copies.
     pub fn push(&mut self, data: &[F]) {
         let vpc = chunk::values_per_chunk::<F>();
         self.total += data.len() as u64;
         let mut rest = data;
         while !rest.is_empty() {
+            if self.pending.is_empty() && rest.len() >= vpc {
+                let (head, tail) = rest.split_at(vpc);
+                self.compress_vals(head);
+                rest = tail;
+                continue;
+            }
             let take = (vpc - self.pending.len()).min(rest.len());
             self.pending.extend_from_slice(&rest[..take]);
             rest = &rest[take..];
@@ -134,7 +158,7 @@ impl<F: PfplFloat> StreamCompressor<F> {
         self.total == 0
     }
 
-    /// Finalize: emit the archive (byte-identical to [`crate::compress`]
+    /// Finalize: emit the archive (byte-identical to [`crate::compress()`]
     /// over the same input) and the compression statistics.
     pub fn finish(mut self) -> (Vec<u8>, CompressStats) {
         if !self.pending.is_empty() {

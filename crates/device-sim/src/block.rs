@@ -29,14 +29,14 @@ pub fn exclusive_scan_wrapping_u64(vals: &mut [u64], vals_per_thread: usize) -> 
 
     // Phase 1: each thread serially reduces its local slice.
     let mut thread_sums = vec![0u64; num_warps * WARP_SIZE];
-    for t in 0..num_threads {
+    for (t, sum) in thread_sums.iter_mut().enumerate().take(num_threads) {
         let lo = t * vals_per_thread;
         let hi = (lo + vals_per_thread).min(n);
         let mut acc = 0u64;
         for v in &vals[lo..hi] {
             acc = acc.wrapping_add(*v);
         }
-        thread_sums[t] = acc;
+        *sum = acc;
     }
 
     // Phase 2: warp-level inclusive scans of the per-thread sums.
@@ -62,9 +62,8 @@ pub fn exclusive_scan_wrapping_u64(vals: &mut [u64], vals_per_thread: usize) -> 
 
     // Phase 4: convert to exclusive per-thread offsets and write back
     // through each thread's local slice.
-    for t in 0..num_threads {
+    for (t, &inclusive) in thread_sums.iter().enumerate().take(num_threads) {
         let w = t / WARP_SIZE;
-        let inclusive = thread_sums[t];
         let lo = t * vals_per_thread;
         let hi = (lo + vals_per_thread).min(n);
         let local_sum: u64 = vals[lo..hi]

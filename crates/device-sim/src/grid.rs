@@ -21,25 +21,44 @@ pub fn launch<F>(num_blocks: usize, workers: usize, kernel: F)
 where
     F: Fn(usize) + Sync,
 {
+    launch_init(num_blocks, workers, || (), |(), b| kernel(b));
+}
+
+/// [`launch`] with per-worker state: each worker calls `init` once and
+/// passes the state to every kernel invocation it claims. This models
+/// per-SM shared memory — kernels reuse worker-resident scratch buffers
+/// instead of allocating per block.
+///
+/// # Panics
+/// Propagates panics from kernels (the scope joins all workers).
+pub fn launch_init<S, I, F>(num_blocks: usize, workers: usize, init: I, kernel: F)
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) + Sync,
+{
     if num_blocks == 0 {
         return;
     }
     let workers = workers.clamp(1, num_blocks);
     if workers == 1 {
+        let mut state = init();
         for b in 0..num_blocks {
-            kernel(b);
+            kernel(&mut state, b);
         }
         return;
     }
     let counter = AtomicUsize::new(0);
     crossbeam::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let b = counter.fetch_add(1, Ordering::Relaxed);
-                if b >= num_blocks {
-                    break;
+            s.spawn(|_| {
+                let mut state = init();
+                loop {
+                    let b = counter.fetch_add(1, Ordering::Relaxed);
+                    if b >= num_blocks {
+                        break;
+                    }
+                    kernel(&mut state, b);
                 }
-                kernel(b);
             });
         }
     })
@@ -71,5 +90,26 @@ mod tests {
         let order = parking_lot::Mutex::new(Vec::new());
         launch(10, 1, |b| order.lock().push(b));
         assert_eq!(*order.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_worker_state_covers_all_blocks() {
+        let n = 500;
+        let flags: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let inits = AtomicU64::new(0);
+        launch_init(
+            n,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new()
+            },
+            |seen, b| {
+                seen.push(b);
+                flags[b].fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+        assert!(inits.load(Ordering::SeqCst) <= 4, "one init per worker");
     }
 }

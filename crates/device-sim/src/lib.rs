@@ -33,6 +33,10 @@
 //! the paper achieves cross-device bit-compatibility.
 
 #![warn(missing_docs)]
+// `!(err <= bound)` instead of `err > bound` is deliberate throughout this
+// crate: the negated form also rejects NaN, which a rewritten positive
+// comparison would silently accept.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod block;
 pub mod configs;

@@ -7,7 +7,7 @@
 //! exclusive prefix is known the block publishes its own inclusive prefix,
 //! unblocking every successor. This is how the paper's GPU code learns
 //! "where to start writing its output" without a separate scan pass
-//! (§III-E, [29]).
+//! (§III-E, reference \[29\] in the paper).
 //!
 //! Status and value are packed into one `AtomicU64` (2 status bits + 62
 //! value bits) so publication is a single atomic store, as on the GPU.

@@ -18,7 +18,7 @@
 //!   stage, using a block-wide scan for the delta decode.
 //!
 //! The output archive is **byte-for-byte identical** to
-//! [`pfpl::compress`]'s, and decompression of any PFPL archive yields
+//! [`pfpl::compress()`]'s, and decompression of any PFPL archive yields
 //! bit-identical values — the paper's CPU/GPU-compatibility guarantee,
 //! enforced here by integration tests rather than by trusting two
 //! compilers.
@@ -56,7 +56,7 @@ impl GpuDevice {
         &self.config
     }
 
-    /// Compress `data` under `bound`; byte-identical to [`pfpl::compress`].
+    /// Compress `data` under `bound`; byte-identical to [`pfpl::compress()`].
     pub fn compress<F: PfplFloat>(&self, data: &[F], bound: ErrorBound) -> Result<Vec<u8>>
     where
         F::Bits: WarpTranspose,
@@ -115,21 +115,25 @@ impl GpuDevice {
         let sizes: Vec<AtomicU32> = (0..nchunks).map(|_| AtomicU32::new(0)).collect();
         let lossless: AtomicU64 = AtomicU64::new(0);
 
-        grid::launch(nchunks, self.config.resident_blocks(), |b| {
-            let lo = b * vpc;
-            let hi = (lo + vpc).min(data.len());
-            let mut payload = Vec::with_capacity(pfpl::chunk::CHUNK_BYTES);
-            let (raw, ll) = encode_chunk_block(q, &data[lo..hi], &mut payload);
-            lossless.fetch_add(ll, Ordering::Relaxed);
-            let len = payload.len();
-            let off = lookback.run_block(b, len as u64) as usize;
-            // SAFETY: look-back offsets are an exclusive prefix sum of the
-            // payload lengths, so every block's range is disjoint and the
-            // total is bounded by the arena size.
-            unsafe { arena.write_at(off, &payload) };
-            let flag = if raw { RAW_FLAG } else { 0 };
-            sizes[b].store(len as u32 | flag, Ordering::Release);
-        });
+        grid::launch_init(
+            nchunks,
+            self.config.resident_blocks(),
+            EncodeScratch::<F>::default,
+            |scratch, b| {
+                let lo = b * vpc;
+                let hi = (lo + vpc).min(data.len());
+                let (raw, ll) = encode_chunk_block(q, &data[lo..hi], scratch);
+                lossless.fetch_add(ll, Ordering::Relaxed);
+                let len = scratch.payload.len();
+                let off = lookback.run_block(b, len as u64) as usize;
+                // SAFETY: look-back offsets are an exclusive prefix sum of
+                // the payload lengths, so every block's range is disjoint
+                // and the total is bounded by the arena size.
+                unsafe { arena.write_at(off, &scratch.payload) };
+                let flag = if raw { RAW_FLAG } else { 0 };
+                sizes[b].store(len as u32 | flag, Ordering::Release);
+            },
+        );
 
         let sizes: Vec<u32> = sizes.into_iter().map(|s| s.into_inner()).collect();
         let payload_len: usize = sizes.iter().map(|&s| (s & !RAW_FLAG) as usize).sum();
@@ -176,21 +180,27 @@ impl GpuDevice {
         let failed = AtomicU32::new(0);
 
         let run = |q: &(dyn Quantizer<F> + Sync)| {
-            grid::launch(header.chunk_count as usize, self.config.resident_blocks(), |b| {
-                let lo = b * vpc;
-                let nvals = vpc.min(count - lo);
-                let p = &payload[offsets[b]..offsets[b + 1]];
-                let raw = sizes[b] & RAW_FLAG != 0;
-                match decode_chunk_block(q, p, raw, nvals) {
-                    Ok(words) => {
-                        // SAFETY: chunk b owns out[lo..lo+nvals] exclusively.
-                        unsafe { out.write_at(lo, &words) };
+            grid::launch_init(
+                header.chunk_count as usize,
+                self.config.resident_blocks(),
+                DecodeScratch::<F>::default,
+                |scratch, b| {
+                    let lo = b * vpc;
+                    let nvals = vpc.min(count - lo);
+                    let p = &payload[offsets[b]..offsets[b + 1]];
+                    let raw = sizes[b] & RAW_FLAG != 0;
+                    match decode_chunk_block(q, p, raw, nvals, scratch) {
+                        Ok(()) => {
+                            // SAFETY: chunk b owns out[lo..lo+nvals]
+                            // exclusively.
+                            unsafe { out.write_at(lo, &scratch.words) };
+                        }
+                        Err(_) => {
+                            failed.store(1 + b as u32, Ordering::Relaxed);
+                        }
                     }
-                    Err(_) => {
-                        failed.store(1 + b as u32, Ordering::Relaxed);
-                    }
-                }
-            });
+                },
+            );
         };
         if header.passthrough {
             run(&PassthroughQuantizer);
@@ -212,13 +222,37 @@ impl GpuDevice {
 /// values per thread" pre-reduction).
 const SCAN_VPT: usize = 8;
 
+/// Per-worker "shared memory" for the encode kernel: every buffer the
+/// fused pipeline touches, reused across all blocks a worker claims so no
+/// per-chunk allocation happens in steady state.
+struct EncodeScratch<F: PfplFloat> {
+    words: Vec<F::Bits>,
+    deltas: Vec<F::Bits>,
+    shuffled: Vec<u8>,
+    /// Final chunk payload (compressed or raw fallback).
+    payload: Vec<u8>,
+    ze: ZeBlockScratch,
+}
+
+impl<F: PfplFloat> Default for EncodeScratch<F> {
+    fn default() -> Self {
+        Self {
+            words: Vec::new(),
+            deltas: Vec::new(),
+            shuffled: Vec::new(),
+            payload: Vec::new(),
+            ze: ZeBlockScratch::default(),
+        }
+    }
+}
+
 /// One block's encode kernel: the fused quantize → delta → bit-shuffle →
 /// zero-eliminate pipeline, all in "shared memory" buffers. Returns
-/// (raw, lossless_value_count) and appends the payload to `out`.
+/// (raw, lossless_value_count); the payload is left in `s.payload`.
 fn encode_chunk_block<F: PfplFloat, Q: Quantizer<F>>(
     q: &Q,
     vals: &[F],
-    out: &mut Vec<u8>,
+    s: &mut EncodeScratch<F>,
 ) -> (bool, u64)
 where
     F::Bits: WarpTranspose,
@@ -227,46 +261,45 @@ where
     let raw_len = vals.len() * word_bytes;
 
     // Quantize (embarrassingly parallel across threads).
-    let mut words: Vec<F::Bits> = Vec::with_capacity(vals.len());
+    s.words.clear();
     let mut lossless = 0u64;
     for &v in vals {
         let w = q.encode(v);
         lossless += q.is_lossless_word(w) as u64;
-        words.push(w);
+        s.words.push(w);
     }
 
     // Delta + negabinary: each thread reads its left neighbor from the
     // snapshot (no scan needed when encoding).
-    let mut deltas: Vec<F::Bits> = Vec::with_capacity(words.len());
-    for i in 0..words.len() {
-        let prev = if i == 0 { F::Bits::ZERO } else { words[i - 1] };
-        deltas.push(negabinary::encode(words[i].wrapping_sub(prev)));
+    s.deltas.clear();
+    for i in 0..s.words.len() {
+        let prev = if i == 0 { F::Bits::ZERO } else { s.words[i - 1] };
+        s.deltas.push(negabinary::encode(s.words[i].wrapping_sub(prev)));
     }
 
     // Bit shuffle at warp granularity (full chunks); the scalar fallback
     // shares the CPU code path so the bytes match by construction.
-    let mut shuffled = vec![0u8; raw_len];
-    if !deltas.is_empty() && deltas.len() % (F::Bits::BITS as usize) == 0 {
-        warp_bitshuffle::<F::Bits>(&deltas, &mut shuffled);
+    s.shuffled.resize(raw_len, 0);
+    if !s.deltas.is_empty() && s.deltas.len().is_multiple_of(F::Bits::BITS as usize) {
+        warp_bitshuffle::<F::Bits>(&s.deltas, &mut s.shuffled);
     } else {
-        shuffle::encode(&deltas, &mut shuffled);
+        shuffle::encode(&s.deltas, &mut s.shuffled);
     }
 
     // Zero-byte elimination with block-scan compaction.
-    let mut payload = Vec::with_capacity(raw_len / 2);
-    zeroelim_block(&shuffled, &mut payload);
+    s.payload.clear();
+    zeroelim_block(&s.shuffled, &mut s.ze, &mut s.payload);
 
-    if payload.len() >= raw_len {
-        // Raw fallback: emit the original values unchanged.
-        let start = out.len();
-        out.resize(start + raw_len, 0);
-        for (i, &v) in vals.iter().enumerate() {
-            v.to_bits()
-                .write_le(&mut out[start + i * word_bytes..start + (i + 1) * word_bytes]);
+    if s.payload.len() >= raw_len {
+        // Raw fallback: emit the original values unchanged (bulk
+        // little-endian copy straight into the payload buffer).
+        s.payload.clear();
+        s.payload.resize(raw_len, 0);
+        for (d, &v) in s.payload.chunks_exact_mut(word_bytes).zip(vals) {
+            v.to_bits().write_le(d);
         }
         (true, 0)
     } else {
-        out.extend_from_slice(&payload);
         (false, lossless)
     }
 }
@@ -359,13 +392,25 @@ impl WarpTranspose for u64 {
     }
 }
 
+/// Reusable buffers for [`zeroelim_block`] (bitmap ping-pong, scan counts,
+/// compacted data, per-level non-repeat bytes).
+#[derive(Default)]
+struct ZeBlockScratch {
+    bitmap_a: Vec<u8>,
+    bitmap_b: Vec<u8>,
+    counts: Vec<u32>,
+    data: Vec<u8>,
+    nonreps: [Vec<u8>; pfpl::lossless::zeroelim::LEVELS],
+}
+
 /// Build the nonzero bitmap one byte per simulated thread (8 input bytes
 /// each, no atomics) and compact the nonzero bytes with a block scan.
-fn zeroelim_block(input: &[u8], out: &mut Vec<u8>) {
+fn zeroelim_block(input: &[u8], s: &mut ZeBlockScratch, out: &mut Vec<u8>) {
     // Level-0 bitmap.
     let len0 = input.len().div_ceil(8);
-    let mut bitmap0 = vec![0u8; len0];
-    for (t, slot) in bitmap0.iter_mut().enumerate() {
+    s.bitmap_a.clear();
+    s.bitmap_a.resize(len0, 0);
+    for (t, slot) in s.bitmap_a.iter_mut().enumerate() {
         let mut byte = 0u8;
         for b in 0..8 {
             let idx = t * 8 + b;
@@ -379,21 +424,21 @@ fn zeroelim_block(input: &[u8], out: &mut Vec<u8>) {
     // Compact nonzero data bytes via block-wide exclusive scan of
     // per-thread nonzero counts.
     let nthreads = input.len().div_ceil(SCAN_VPT);
-    let mut counts: Vec<u32> = (0..nthreads)
-        .map(|t| {
-            input[t * SCAN_VPT..((t + 1) * SCAN_VPT).min(input.len())]
-                .iter()
-                .filter(|&&b| b != 0)
-                .count() as u32
-        })
-        .collect();
-    let total = block::exclusive_scan_u32(&mut counts, 1) as usize;
-    let mut data = vec![0u8; total];
+    s.counts.clear();
+    s.counts.extend((0..nthreads).map(|t| {
+        input[t * SCAN_VPT..((t + 1) * SCAN_VPT).min(input.len())]
+            .iter()
+            .filter(|&&b| b != 0)
+            .count() as u32
+    }));
+    let total = block::exclusive_scan_u32(&mut s.counts, 1) as usize;
+    s.data.clear();
+    s.data.resize(total, 0);
     for t in 0..nthreads {
-        let mut off = counts[t] as usize;
+        let mut off = s.counts[t] as usize;
         for &b in &input[t * SCAN_VPT..((t + 1) * SCAN_VPT).min(input.len())] {
             if b != 0 {
-                data[off] = b;
+                s.data[off] = b;
                 off += 1;
             }
         }
@@ -402,47 +447,71 @@ fn zeroelim_block(input: &[u8], out: &mut Vec<u8>) {
     // Iterated repeat-elimination of the bitmap. These levels shrink by 8×
     // per round (a full chunk's level-1 input is 2 KiB), so even the GPU
     // code processes them with a single warp; the simulation does the same
-    // serially per block.
-    let mut bitmap = bitmap0;
-    let mut nonreps: Vec<Vec<u8>> = Vec::with_capacity(pfpl::lossless::zeroelim::LEVELS);
-    for _ in 0..pfpl::lossless::zeroelim::LEVELS {
-        let lenk = bitmap.len().div_ceil(8);
-        let mut next = vec![0u8; lenk];
-        let mut nr = Vec::new();
-        for (j, &b) in bitmap.iter().enumerate() {
+    // serially per block, ping-ponging between the two bitmap buffers.
+    for nr in &mut s.nonreps {
+        nr.clear();
+        let lenk = s.bitmap_a.len().div_ceil(8);
+        s.bitmap_b.clear();
+        s.bitmap_b.resize(lenk, 0);
+        for (j, &b) in s.bitmap_a.iter().enumerate() {
             // Each simulated thread reads its left neighbor from the
             // snapshot — elementwise, no scan needed.
-            let prev = if j == 0 { 0 } else { bitmap[j - 1] };
+            let prev = if j == 0 { 0 } else { s.bitmap_a[j - 1] };
             if b != prev {
-                next[j >> 3] |= 1 << (j & 7);
+                s.bitmap_b[j >> 3] |= 1 << (j & 7);
                 nr.push(b);
             }
         }
-        nonreps.push(nr);
-        bitmap = next;
+        std::mem::swap(&mut s.bitmap_a, &mut s.bitmap_b);
     }
 
-    out.extend_from_slice(&bitmap);
-    for nr in nonreps.iter().rev() {
+    out.extend_from_slice(&s.bitmap_a);
+    for nr in s.nonreps.iter().rev() {
         out.extend_from_slice(nr);
     }
-    out.extend_from_slice(&data);
+    out.extend_from_slice(&s.data);
+}
+
+/// Per-worker "shared memory" for the decode kernel.
+struct DecodeScratch<F: PfplFloat> {
+    /// Reconstructed (unshuffled) chunk bytes.
+    bytes: Vec<u8>,
+    ze: pfpl::lossless::zeroelim::Scratch,
+    /// Decoded value bit patterns — the kernel's output.
+    words: Vec<F::Bits>,
+    wide: Vec<u64>,
+    own: Vec<u64>,
+}
+
+impl<F: PfplFloat> Default for DecodeScratch<F> {
+    fn default() -> Self {
+        Self {
+            bytes: Vec::new(),
+            ze: pfpl::lossless::zeroelim::Scratch::default(),
+            words: Vec::new(),
+            wide: Vec::new(),
+            own: Vec::new(),
+        }
+    }
 }
 
 /// One block's decode kernel: zero-elimination expand, bit unshuffle,
-/// block-scan delta decode, quantizer decode. Returns the chunk's words
-/// (already quantizer-decoded to value bit patterns).
+/// block-scan delta decode, quantizer decode. Leaves the chunk's words
+/// (already quantizer-decoded to value bit patterns) in `s.words`.
 fn decode_chunk_block<F: PfplFloat>(
     q: &(dyn Quantizer<F> + Sync),
     payload: &[u8],
     raw: bool,
     nvals: usize,
-) -> Result<Vec<F::Bits>>
+    s: &mut DecodeScratch<F>,
+) -> Result<()>
 where
     F::Bits: WarpTranspose,
 {
     let word_bytes = F::Bits::BITS as usize / 8;
     let raw_len = nvals * word_bytes;
+    s.words.clear();
+    s.words.resize(nvals, F::Bits::ZERO);
     if raw {
         if payload.len() != raw_len {
             return Err(Error::Corrupt(format!(
@@ -450,38 +519,38 @@ where
                 payload.len()
             )));
         }
-        return Ok((0..nvals)
-            .map(|i| F::Bits::read_le(&payload[i * word_bytes..(i + 1) * word_bytes]))
-            .collect());
+        // Bulk little-endian load of the stored bit patterns.
+        F::Bits::read_slice_le(payload, &mut s.words);
+        return Ok(());
     }
-    let (bytes, used) = pfpl::lossless::zeroelim::decode(payload, raw_len)?;
+    let used = pfpl::lossless::zeroelim::decode_into(payload, raw_len, &mut s.ze, &mut s.bytes)?;
     if used != payload.len() {
         return Err(Error::Corrupt(format!(
             "chunk payload has {} trailing bytes",
             payload.len() - used
         )));
     }
-    let mut words = vec![F::Bits::ZERO; nvals];
-    if nvals > 0 && nvals % (F::Bits::BITS as usize) == 0 {
-        warp_bitunshuffle(&bytes, &mut words);
+    if nvals > 0 && nvals.is_multiple_of(F::Bits::BITS as usize) {
+        warp_bitunshuffle(&s.bytes, &mut s.words);
     } else {
-        shuffle::decode(&bytes, &mut words);
+        shuffle::decode(&s.bytes, &mut s.words);
     }
     // Delta decode = inclusive scan of negabinary-decoded residuals. The
     // GPU needs the block-wide scan here (§III-E: "the decoder requires a
     // block-wide prefix sum"), which is why decompression is the slower
     // direction on the device.
-    let mut wide: Vec<u64> = words
-        .iter()
-        .map(|&w| negabinary::decode(w).to_u64())
-        .collect();
+    s.wide.clear();
+    s.wide
+        .extend(s.words.iter().map(|&w| negabinary::decode(w).to_u64()));
     // exclusive scan → shift to inclusive by adding own value
-    let own: Vec<u64> = wide.clone();
-    block::exclusive_scan_wrapping_u64(&mut wide, SCAN_VPT);
+    s.own.clear();
+    s.own.extend_from_slice(&s.wide);
+    block::exclusive_scan_wrapping_u64(&mut s.wide, SCAN_VPT);
     for i in 0..nvals {
-        words[i] = F::Bits::from_u64(wide[i].wrapping_add(own[i]));
+        let w = F::Bits::from_u64(s.wide[i].wrapping_add(s.own[i]));
+        s.words[i] = q.decode(w).to_bits();
     }
-    Ok(words.iter().map(|&w| q.decode(w).to_bits()).collect())
+    Ok(())
 }
 
 #[cfg(test)]

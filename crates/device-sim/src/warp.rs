@@ -14,9 +14,7 @@ pub const WARP_SIZE: usize = 32;
 /// lanes below `delta` keep their own value (CUDA semantics).
 pub fn shfl_up<T: Copy>(vals: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
     let mut out = *vals;
-    for l in delta..WARP_SIZE {
-        out[l] = vals[l - delta];
-    }
+    out[delta..].copy_from_slice(&vals[..WARP_SIZE - delta]);
     out
 }
 
@@ -24,9 +22,7 @@ pub fn shfl_up<T: Copy>(vals: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
 /// the top `delta` lanes keep their own value.
 pub fn shfl_down<T: Copy>(vals: &[T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
     let mut out = *vals;
-    for l in 0..WARP_SIZE - delta {
-        out[l] = vals[l + delta];
-    }
+    out[..WARP_SIZE - delta].copy_from_slice(&vals[delta..]);
     out
 }
 

@@ -1,6 +1,6 @@
 //! Canonical Huffman coding over integer symbol alphabets.
 //!
-//! The SZ-family baselines Huffman-code their quantization bins [17]; this
+//! The SZ-family baselines Huffman-code their quantization bins \[17\]; this
 //! is a compact canonical implementation with a length-limited code (via
 //! frequency scaling) and an RLE-compressed code-length table, so sparse
 //! alphabets (most bins unused) cost little header space.
@@ -16,7 +16,7 @@ pub const MAX_CODE_LEN: u32 = 31;
 /// iterative frequency scaling (flattens the distribution until the tree
 /// fits). Returns one length per symbol; unused symbols get length 0.
 pub fn code_lengths(freqs: &[u64], max_len: u32) -> Vec<u8> {
-    assert!(max_len >= 1 && max_len <= MAX_CODE_LEN);
+    assert!((1..=MAX_CODE_LEN).contains(&max_len));
     let n = freqs.len();
     let used: Vec<usize> = (0..n).filter(|&i| freqs[i] > 0).collect();
     let mut lens = vec![0u8; n];
@@ -208,7 +208,7 @@ impl HuffmanDecoder {
                     "length table overruns alphabet".into(),
                 ));
             }
-            lens.extend(std::iter::repeat(l).take(run));
+            lens.extend(std::iter::repeat_n(l, run));
         }
         Self::from_lengths(&lens)
     }

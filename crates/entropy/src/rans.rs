@@ -151,7 +151,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             words.push(state as u16);
             state >>= 16;
         }
-        state = (state / f) << SCALE_BITS | (state % f) + c;
+        state = ((state / f) << SCALE_BITS) | ((state % f) + c);
     }
     out.extend_from_slice(&state.to_le_bytes());
     out.extend_from_slice(&(words.len() as u64).to_le_bytes());

@@ -62,7 +62,7 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
             let n = c - 128 + MIN_RUN;
             let b = buf[i];
             i += 1;
-            out.extend(std::iter::repeat(b).take(n));
+            out.extend(std::iter::repeat_n(b, n));
         }
     }
     Ok(out)
@@ -87,7 +87,7 @@ mod tests {
         for i in 0..1000u32 {
             input.push((i % 7) as u8);
             if i % 5 == 0 {
-                input.extend(std::iter::repeat(9u8).take(20));
+                input.extend(std::iter::repeat_n(9u8, 20));
             }
         }
         let c = compress(&input);

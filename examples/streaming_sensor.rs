@@ -26,7 +26,7 @@ impl Sensor {
             self.t += 1;
             let t = self.t as f32;
             let mut v = (t * 3e-4).sin() * 12.0 + t * 1e-6;
-            if self.t % 100_000 == 0 {
+            if self.t.is_multiple_of(100_000) {
                 v = f32::INFINITY; // saturated reading
             }
             out.push(v);

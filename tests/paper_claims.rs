@@ -11,7 +11,7 @@ use pfpl_data::{suite_by_name, FieldData, SizeClass};
 fn rel_satisfies_both_formulations() {
     let eb = 1e-2f64;
     let data: Vec<f32> = (0..50_000)
-        .map(|i| ((i as f32 * 0.0137).sin() + 1.1) * 10f32.powi((i % 9) as i32 - 4))
+        .map(|i| ((i as f32 * 0.0137).sin() + 1.1) * 10f32.powi((i % 9) - 4))
         .collect();
     let arch = pfpl::compress(&data, ErrorBound::Rel(eb), Mode::Parallel).unwrap();
     let back: Vec<f32> = pfpl::decompress(&arch, Mode::Parallel).unwrap();

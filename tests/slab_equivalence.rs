@@ -1,0 +1,134 @@
+//! Regression tests for the single-pass archive assembly paths: the
+//! serial backpatch assembler, the parallel slab assembler, the streaming
+//! encoder, and the simulated-GPU lookback assembler must all emit
+//! byte-identical archives for the same input and bound.
+
+use pfpl::stream::StreamCompressor;
+use pfpl::types::{ErrorBound, Mode};
+use pfpl_device_sim::{configs, GpuDevice};
+use proptest::prelude::*;
+
+/// Compress `data` on every implementation and assert the archives are
+/// byte-identical. Returns the archive. The streaming path is skipped for
+/// NOA (unstreamable by design: needs the global range up front).
+fn assert_all_paths_identical(data: &[f32], bound: ErrorBound) -> Vec<u8> {
+    let serial = pfpl::compress(data, bound, Mode::Serial).unwrap();
+    let parallel = pfpl::compress(data, bound, Mode::Parallel).unwrap();
+    assert_eq!(serial, parallel, "serial vs parallel ({bound:?})");
+
+    let gpu = GpuDevice::new(configs::RTX_4090)
+        .compress(data, bound)
+        .unwrap();
+    assert_eq!(serial, gpu, "serial vs device-sim ({bound:?})");
+
+    if !matches!(bound, ErrorBound::Noa(_)) {
+        let mut enc = StreamCompressor::<f32>::new(bound).unwrap();
+        // Push in uneven slices so chunk boundaries fall mid-push, at
+        // pushes, and across the direct (chunk-aligned) fast path.
+        let mut i = 0usize;
+        let mut step = 7usize;
+        while i < data.len() {
+            let hi = (i + step).min(data.len());
+            enc.push(&data[i..hi]);
+            i = hi;
+            step = step * 5 % 9_001 + 1;
+        }
+        let (streamed, _) = enc.finish();
+        assert_eq!(serial, streamed, "serial vs streamed ({bound:?})");
+    }
+    serial
+}
+
+#[test]
+fn known_shapes_identical_across_paths() {
+    let vpc = 16 * 1024 / 4; // f32 values per chunk
+    let smooth = |n: usize| -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.002).sin() * 40.0).collect()
+    };
+    let noise = |n: usize| -> Vec<f32> {
+        let mut x = 0xC0FFEEu64;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                f32::from_bits((x as u32 % 0x7F00_0000).max(1 << 23))
+            })
+            .collect()
+    };
+    let cases: Vec<Vec<f32>> = vec![
+        vec![],              // no chunks
+        smooth(1),           // single-value chunk
+        smooth(vpc),         // exactly one chunk
+        smooth(vpc + 1),     // one full chunk + 1-value tail
+        smooth(10 * vpc),    // many full chunks
+        noise(3 * vpc + 17), // raw chunks exercise the fallback path
+        {
+            let mut mixed = smooth(4 * vpc);
+            mixed[5] = f32::NAN;
+            mixed[vpc + 3] = f32::INFINITY;
+            mixed
+        },
+    ];
+    for data in &cases {
+        for bound in [
+            ErrorBound::Abs(1e-3),
+            ErrorBound::Rel(1e-3),
+            ErrorBound::Noa(1e-4),
+        ] {
+            let arch = assert_all_paths_identical(data, bound);
+            let back: Vec<f32> = pfpl::decompress(&arch, Mode::Parallel).unwrap();
+            assert_eq!(back.len(), data.len());
+        }
+    }
+}
+
+#[test]
+fn f64_paths_identical() {
+    let data: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.001).cos() * 7.0).collect();
+    for bound in [ErrorBound::Abs(1e-8), ErrorBound::Rel(1e-6)] {
+        let serial = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        let parallel = pfpl::compress(&data, bound, Mode::Parallel).unwrap();
+        assert_eq!(serial, parallel);
+        let gpu = GpuDevice::new(configs::RTX_4090)
+            .compress(&data, bound)
+            .unwrap();
+        assert_eq!(serial, gpu);
+        let mut enc = StreamCompressor::<f64>::new(bound).unwrap();
+        enc.push(&data);
+        assert_eq!(serial, enc.finish().0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary finite data, arbitrary bound kind and magnitude: all four
+    /// assembly paths agree byte-for-byte.
+    #[test]
+    fn arbitrary_inputs_identical_across_paths(
+        data in prop::collection::vec(-1e5f32..1e5, 0..25_000),
+        eb_exp in -6i32..1,
+        kind in 0u8..3,
+    ) {
+        let eb = 10f64.powi(eb_exp);
+        let bound = match kind {
+            0 => ErrorBound::Abs(eb),
+            1 => ErrorBound::Rel(eb),
+            _ => ErrorBound::Noa(eb),
+        };
+        assert_all_paths_identical(&data, bound);
+    }
+
+    /// Arbitrary bit patterns (NaN/Inf/denormals) — the lossless-fallback
+    /// and raw-chunk paths must also assemble identically everywhere.
+    #[test]
+    fn arbitrary_bits_identical_across_paths(
+        bits in prop::collection::vec(any::<u32>(), 0..12_000),
+        eb_exp in -7i32..-2,
+    ) {
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        assert_all_paths_identical(&data, ErrorBound::Abs(10f64.powi(eb_exp)));
+        assert_all_paths_identical(&data, ErrorBound::Rel(10f64.powi(eb_exp)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the API shape the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `Throughput`, `black_box`, `criterion_group!`,
+//! `criterion_main!`) but measures with a simple adaptive wall-clock
+//! loop: warm up briefly, then time batches until ~200 ms has elapsed,
+//! and report the per-iteration mean plus derived throughput. No
+//! statistics, plots, or baselines — good enough to rank hot paths and
+//! catch large regressions offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+/// Optional per-iteration workload size for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to bench closures; call [`Bencher::iter`] with the hot loop.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, keeping its return value alive via [`black_box`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also discovers a batch size that amortizes timer cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            iters += 1;
+        }
+        let batch = iters.max(1);
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        while total < MEASURE {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            count += batch;
+        }
+        self.mean = total / count.max(1) as u32;
+    }
+}
+
+/// Mirrors `criterion::Criterion`: the top-level bench registry.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration workload used for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, f);
+        self
+    }
+
+    /// End the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    let secs = b.mean.as_secs_f64();
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            format!("  {:>8.3} GB/s", n as f64 / secs / 1e9)
+        }
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            format!("  {:>8.3} Melem/s", n as f64 / secs / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<40} {:>12.3?}/iter{rate}", b.mean);
+}
+
+/// Mirrors `criterion_group!`: bundle bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: generate `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("noop-ish", |b| {
+            b.iter(|| {
+                let v: Vec<u8> = (0..64u8).collect();
+                v
+            })
+        });
+        g.finish();
+    }
+}

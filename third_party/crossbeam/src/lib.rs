@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn`; since
+//! Rust 1.63 `std::thread::scope` covers that, so this shim adapts the
+//! crossbeam signatures (spawn closures receive the scope again, and the
+//! scope call returns a `thread::Result` instead of propagating panics
+//! directly) onto std.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to [`scope`] closures and re-passed to spawned
+/// threads (crossbeam's signature).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// all are joined before returning. A panic in any spawned thread (or in
+/// `f`) is captured and returned as `Err`, matching crossbeam.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn joins_all_threads() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

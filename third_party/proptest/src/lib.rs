@@ -1,0 +1,479 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the PFPL workspace uses: the [`proptest!`] macro
+//! (with `#![proptest_config(..)]`, typed `arg: Type` parameters, and
+//! `arg in strategy` parameters, freely mixed), integer/float range
+//! strategies, `prop::collection::vec`, `any::<T>()`,
+//! `prop::sample::Index`, tuple strategies, and the `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the case number; cases
+//!   are generated deterministically from the test's name, so every
+//!   failure reproduces exactly by re-running the test.
+//! * **Deterministic seeding.** There is no `PROPTEST_*` environment
+//!   handling; CI and local runs see identical inputs.
+
+use std::ops::{Range, RangeFrom};
+
+/// Number-of-cases configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run each test `cases` times.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (the test's name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::unnecessary_cast)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let wide = rng.next_u64() as u128 * span;
+                (self.start as i128 + (wide >> 64) as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            #[allow(clippy::unnecessary_cast)]
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // `start..` means start..=MAX.
+                let span = (<$t>::MAX as i128 - self.start as i128 + 1) as u128;
+                let wide = rng.next_u64() as u128 * span;
+                (self.start as i128 + (wide >> 64) as i128) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// Types with a default full-range strategy, used by [`any`] and by typed
+/// `arg: Type` parameters of [`proptest!`].
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Arbitrary bit patterns (NaN/Inf included), like proptest's
+        // full f32 domain in spirit.
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(101) as usize; // proptest's default 0..=100
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(element, len_range)`: vectors of `element` samples.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start).max(1) as u64;
+                let len = self.len.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric strategies (`prop::num::f64::NORMAL`, ...).
+    pub mod num {
+        macro_rules! float_normal {
+            ($mod:ident, $t:ty, $bits:ty, $mant:expr, $max_exp:expr) => {
+                /// Strategies for one float width.
+                pub mod $mod {
+                    use crate::{Strategy, TestRng};
+
+                    /// Marker strategy yielding normal (finite, non-subnormal,
+                    /// non-NaN) floats of either sign, uniform over the bit
+                    /// representation's exponent and mantissa.
+                    #[derive(Debug, Clone, Copy)]
+                    pub struct Normal;
+
+                    /// Matches `proptest::num::<t>::NORMAL`.
+                    pub const NORMAL: Normal = Normal;
+
+                    impl Strategy for Normal {
+                        type Value = $t;
+                        #[allow(clippy::unnecessary_cast)]
+                        fn sample(&self, rng: &mut TestRng) -> $t {
+                            let raw = rng.next_u64();
+                            let sign = (raw >> 63) as $bits;
+                            // Biased exponent in [1, max-1]: excludes zero /
+                            // subnormal (0) and inf / NaN (all-ones).
+                            let exp = 1 + (raw as $bits >> $mant) % ($max_exp - 1);
+                            let mant = raw as $bits & ((1 << $mant) - 1);
+                            <$t>::from_bits(
+                                (sign << (<$bits>::BITS - 1)) | (exp << $mant) | mant,
+                            )
+                        }
+                    }
+                }
+            };
+        }
+
+        float_normal!(f32, f32, u32, 23, 0xFE);
+        float_normal!(f64, f64, u64, 52, 0x7FE);
+    }
+
+    /// Sampling helpers (`prop::sample::Index`).
+    pub mod sample {
+        use crate::{Arbitrary, TestRng};
+
+        /// An abstract index into a collection of as-yet-unknown size.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolve against a concrete collection size.
+            ///
+            /// # Panics
+            /// If `len == 0`, like the real proptest.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` user needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// The shim treats a skipped case as passing (no replacement case is
+/// drawn), which is sound as long as assumptions are rarely violated.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no functions left.
+    (@fns ($cfg:expr)) => {};
+    // Internal: one function, then recurse.
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                // Deterministic per-case seed: reruns reproduce failures.
+                let mut __rng = $crate::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _ in 0..__case {
+                    __rng.next_u64();
+                }
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let mut __rng = __rng;
+                        $crate::proptest!(@bind __rng $($params)*);
+                        $body
+                    }),
+                );
+                if let Err(__panic) = __result {
+                    eprintln!(
+                        "proptest case {__case}/{} failed in {}",
+                        __config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+
+    // Parameter binders: `[mut] name in strategy` and `[mut] name: Type`,
+    // comma separated, trailing comma allowed.
+    (@bind $rng:ident) => {};
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident mut $i:ident in $s:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $i = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident mut $i:ident in $s:expr) => {
+        #[allow(unused_mut)]
+        let mut $i = $crate::Strategy::sample(&($s), &mut $rng);
+    };
+    (@bind $rng:ident $i:ident in $s:expr, $($rest:tt)*) => {
+        let $i = $crate::Strategy::sample(&($s), &mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $i:ident in $s:expr) => {
+        let $i = $crate::Strategy::sample(&($s), &mut $rng);
+    };
+    (@bind $rng:ident mut $i:ident : $t:ty, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident mut $i:ident : $t:ty) => {
+        #[allow(unused_mut)]
+        let mut $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng $($rest)*);
+    };
+    (@bind $rng:ident $i:ident : $t:ty) => {
+        let $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+
+    // Entry: leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // Entry: no config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn typed_and_strategy_params_mix(xs: Vec<u8>, n in 1usize..9, f in 0.5f64..2.0) {
+            prop_assert!((1..9).contains(&n));
+            prop_assert!((0.5..2.0).contains(&f));
+            prop_assert!(xs.len() <= 100);
+        }
+
+        #[test]
+        fn mut_params(mut v: Vec<u32>, mut k in 0u32..10) {
+            v.push(k);
+            k += 1;
+            prop_assert!(k >= 1);
+            prop_assert_eq!(*v.last().unwrap() + 1, k);
+        }
+
+        #[test]
+        fn tuple_and_vec_strategies(
+            pairs in prop::collection::vec((0usize..5000, 1u8..), 0..40),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(pairs.len() < 40);
+            for (p, v) in &pairs {
+                prop_assert!(*p < 5000);
+                prop_assert!(*v >= 1);
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x: u64) {
+            prop_assert_ne!(x, x.wrapping_add(1));
+        }
+    }
+}

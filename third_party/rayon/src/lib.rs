@@ -1,0 +1,489 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this vendored shim
+//! provides the (small) subset of rayon's data-parallel API that the PFPL
+//! workspace actually uses: `par_iter`, `par_chunks`, `par_chunks_mut`,
+//! the `map` / `map_init` / `enumerate` / `zip` adapters, and the
+//! `collect` / `reduce` consumers, plus `ThreadPoolBuilder::num_threads`
+//! for sizing the global pool.
+//!
+//! Execution model: every consumer splits the index space `0..len` into
+//! one contiguous range per worker and runs the ranges on scoped OS
+//! threads (`std::thread::scope`). Item order is fully preserved, so all
+//! consumers are deterministic — which the PFPL test suite relies on
+//! (serial and parallel archives must be byte-identical). With one
+//! available core (or `num_threads(1)`) everything runs inline with zero
+//! spawn overhead.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Requested global pool size; 0 means "use the hardware default".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel consumers will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder` for configuring the global pool.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` worker threads (0 = hardware default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally. Unlike real rayon this may be
+    /// called repeatedly; the latest call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// An indexed source of items that can be evaluated in parallel.
+///
+/// Each worker thread first creates a [`ParallelIterator::Worker`] state
+/// (this is how `map_init` gets its per-thread scratch), then evaluates a
+/// contiguous, disjoint range of indices with [`ParallelIterator::get`].
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type produced at each index.
+    type Item: Send;
+    /// Per-worker state threaded through every `get` call.
+    type Worker;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// True if there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Create one worker's state.
+    fn make_worker(&self) -> Self::Worker;
+    /// Produce the item at `index`.
+    ///
+    /// Consumers call this exactly once per index; mutable-slice sources
+    /// rely on that for soundness.
+    fn get(&self, worker: &mut Self::Worker, index: usize) -> Self::Item;
+
+    /// Transform each item with `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Transform each item with `f`, giving each worker a state built by
+    /// `init` (rayon's `map_init`).
+    fn map_init<S, R, I, F>(self, init: I, f: F) -> MapInit<Self, I, F>
+    where
+        I: Fn() -> S + Sync,
+        R: Send,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Pair each item with the corresponding element of `other`.
+    ///
+    /// Truncates to the shorter length, like `Iterator::zip`.
+    fn zip<'b, T: Sync>(self, other: &'b [T]) -> Zip<'b, Self, T> {
+        Zip { base: self, other }
+    }
+
+    /// Evaluate all items in parallel and collect them in index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        run_ordered(&self).into_iter().collect()
+    }
+
+    /// Fold items with `op`, seeding every sequential fold with
+    /// `identity()`. `op` must be associative with `identity()` as its
+    /// unit, as in rayon.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run_ordered(&self).into_iter().fold(identity(), op)
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.map(|item| {
+            f(item);
+        })
+        .collect::<Vec<()>>();
+    }
+}
+
+/// Evaluate every index of `it` across the worker pool, preserving order.
+fn run_ordered<P: ParallelIterator>(it: &P) -> Vec<P::Item> {
+    let len = it.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = current_num_threads().clamp(1, len);
+    if workers == 1 {
+        let mut w = it.make_worker();
+        return (0..len).map(|i| it.get(&mut w, i)).collect();
+    }
+    // One contiguous index range per worker; ranges are disjoint and cover
+    // 0..len exactly, so mutable sources hand out non-overlapping slices.
+    let base = len / workers;
+    let rem = len % workers;
+    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        for w in 0..workers {
+            let count = base + usize::from(w < rem);
+            let range = start..start + count;
+            start += count;
+            handles.push(s.spawn(move || {
+                let mut state = it.make_worker();
+                range
+                    .map(|i| it.get(&mut state, i))
+                    .collect::<Vec<P::Item>>()
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(len);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Parallel shared-slice iteration (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type iterated by reference.
+    type Item: Sync + 'a;
+    /// Borrow the collection as a parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel chunked views of a shared slice (`par_chunks`).
+pub trait ParallelSlice<T: Sync> {
+    /// Split into `size`-element chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// Parallel chunked views of a mutable slice (`par_chunks_mut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ParChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// See [`IntoParallelRefIterator::par_iter`].
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Worker = ();
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn make_worker(&self) {}
+    fn get(&self, _w: &mut (), index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Worker = ();
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn make_worker(&self) {}
+    fn get(&self, _w: &mut (), index: usize) -> &'a [T] {
+        let lo = index * self.size;
+        let hi = (lo + self.size).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// See [`ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer stands in for the `&'a mut [T]` captured in
+// `_marker`; sending/sharing it is as safe as sending the slice.
+unsafe impl<T: Send> Send for ParChunksMut<'_, T> {}
+// SAFETY: `get` hands out disjoint subslices (consumers visit each index
+// exactly once), so shared access to the *iterator* never aliases.
+unsafe impl<T: Send> Sync for ParChunksMut<'_, T> {}
+
+impl<'a, T: Send + 'a> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Worker = ();
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn make_worker(&self) {}
+    fn get(&self, _w: &mut (), index: usize) -> &'a mut [T] {
+        let lo = index * self.size;
+        let hi = (lo + self.size).min(self.len);
+        // SAFETY: lo..hi is in bounds, and each index is requested exactly
+        // once by the consumers in this crate, so the returned mutable
+        // subslices never overlap.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    type Worker = P::Worker;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn make_worker(&self) -> P::Worker {
+        self.base.make_worker()
+    }
+    fn get(&self, w: &mut P::Worker, index: usize) -> R {
+        (self.f)(self.base.get(w, index))
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<P, I, F> {
+    base: P,
+    init: I,
+    f: F,
+}
+
+impl<P, S, R, I, F> ParallelIterator for MapInit<P, I, F>
+where
+    P: ParallelIterator,
+    I: Fn() -> S + Sync,
+    R: Send,
+    F: Fn(&mut S, P::Item) -> R + Sync,
+{
+    type Item = R;
+    type Worker = (P::Worker, S);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn make_worker(&self) -> (P::Worker, S) {
+        (self.base.make_worker(), (self.init)())
+    }
+    fn get(&self, w: &mut (P::Worker, S), index: usize) -> R {
+        let item = self.base.get(&mut w.0, index);
+        (self.f)(&mut w.1, item)
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Worker = P::Worker;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn make_worker(&self) -> P::Worker {
+        self.base.make_worker()
+    }
+    fn get(&self, w: &mut P::Worker, index: usize) -> (usize, P::Item) {
+        (index, self.base.get(w, index))
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<'b, P, T> {
+    base: P,
+    other: &'b [T],
+}
+
+impl<'b, P, T> ParallelIterator for Zip<'b, P, T>
+where
+    P: ParallelIterator,
+    T: Sync + 'b,
+{
+    type Item = (P::Item, &'b T);
+    type Worker = P::Worker;
+    fn len(&self) -> usize {
+        self.base.len().min(self.other.len())
+    }
+    fn make_worker(&self) -> P::Worker {
+        self.base.make_worker()
+    }
+    fn get(&self, w: &mut P::Worker, index: usize) -> (P::Item, &'b T) {
+        (self.base.get(w, index), &self.other[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_slice() {
+        let v: Vec<u32> = (0..1001).collect();
+        let sums: Vec<u32> = v.par_chunks(100).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<u32>(), v.iter().sum::<u32>());
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut v = vec![0u32; 997];
+        v.par_chunks_mut(64)
+            .enumerate()
+            .map(|(i, c)| c.iter_mut().for_each(|x| *x = i as u32))
+            .collect::<Vec<()>>();
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn map_init_gets_per_worker_state() {
+        let v: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = v
+            .par_iter()
+            .map_init(|| 7u32, |s, &x| x + *s)
+            .collect();
+        assert!(out.iter().zip(&v).all(|(o, x)| *o == x + 7));
+    }
+
+    #[test]
+    fn reduce_matches_serial_fold() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let sum = v.par_chunks(37).map(|c| c.iter().sum()).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, 500_500);
+    }
+
+    #[test]
+    fn zip_truncates() {
+        let a = [1u32, 2, 3, 4];
+        let b = [10u32, 20, 30];
+        let pairs: Vec<(u32, u32)> = a.par_iter().zip(&b).map(|(&x, &y)| (x, y)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn collect_result_short_circuit_semantics() {
+        let v: Vec<u32> = (0..100).collect();
+        let r: Result<Vec<u32>, String> = v
+            .par_iter()
+            .map(|&x| if x == 50 { Err("boom".to_string()) } else { Ok(x) })
+            .collect();
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+}
