@@ -2,8 +2,12 @@
 //!
 //! Measures GB/s (uncompressed bytes / median wall-clock, paper §IV
 //! convention) for each of the four pipeline stages in both directions,
-//! plus end-to-end compression and decompression in serial and parallel
-//! modes, and writes the results to `BENCH_pipeline.json`.
+//! plus end-to-end compression and decompression — serial once, parallel
+//! swept across 1/2/4/8 pool threads with the actual thread count keyed
+//! per measurement — and writes the results to `BENCH_pipeline.json`.
+//! `host_cpus` records the machine's available parallelism so scaling
+//! numbers are interpretable (a 1-core host cannot speed up, only show
+//! that the pool costs nothing).
 //!
 //! Flags: `--values N` (input size, default 4 Mi values = 16 MiB),
 //! `--runs R` (median-of-R, default 5), `--out PATH`.
@@ -56,9 +60,8 @@ fn main() {
     // ---- compress stages (chunked, steady-state scratch reuse) ----------
     let mut qwords = vec![0u32; values];
     let t_quant = median_seconds(runs, || {
-        for (w, &v) in qwords.iter_mut().zip(&vals) {
-            *w = q.encode(v);
-        }
+        // The batched kernel the chunk pipeline actually runs.
+        black_box(q.encode_slice(&vals, &mut qwords));
     });
 
     // Delta is in-place; time (memcpy + encode) and subtract the memcpy.
@@ -132,17 +135,34 @@ fn main() {
     let t_comp_serial = median_seconds(runs, || {
         black_box(pfpl::compress(&vals, bound, Mode::Serial).unwrap());
     });
-    let t_comp_parallel = median_seconds(runs, || {
-        black_box(pfpl::compress(&vals, bound, Mode::Parallel).unwrap());
-    });
     let t_dec_serial = median_seconds(runs, || {
         black_box(pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap());
     });
-    let t_dec_parallel = median_seconds(runs, || {
-        black_box(pfpl::decompress::<f32>(&archive, Mode::Parallel).unwrap());
-    });
 
     let gbs = |secs: f64| throughput_gbs(bytes, secs);
+
+    // Thread-scaling sweep: parallel mode at 1/2/4/8 pool threads, the
+    // actual thread count keyed per measurement (the old file recorded a
+    // single global `threads`, which silently pinned every committed
+    // "parallel" number to a threads-1 run).
+    let mut comp_by_threads = String::new();
+    let mut dec_by_threads = String::new();
+    for (i, &t) in [1usize, 2, 4, 8].iter().enumerate() {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("configure pool size");
+        let tc = median_seconds(runs, || {
+            black_box(pfpl::compress(&vals, bound, Mode::Parallel).unwrap());
+        });
+        let td = median_seconds(runs, || {
+            black_box(pfpl::decompress::<f32>(&archive, Mode::Parallel).unwrap());
+        });
+        let sep = if i == 0 { "" } else { ", " };
+        comp_by_threads.push_str(&format!("{sep}\"{t}\": {:.4}", gbs(tc)));
+        dec_by_threads.push_str(&format!("{sep}\"{t}\": {:.4}", gbs(td)));
+    }
+
     let json = format!(
         r#"{{
   "bench": "pipeline",
@@ -150,11 +170,12 @@ fn main() {
     "values": {values},
     "bytes": {bytes},
     "precision": "f32",
-    "bound": {{ "kind": "abs", "value": {BOUND} }},
-    "threads": {threads}
+    "bound": {{ "kind": "abs", "value": {BOUND} }}
   }},
   "runs": {runs},
+  "host_cpus": {host_cpus},
   "stages_gbs": {{
+    "threads": 1,
     "compress": {{
       "quantize": {quant:.4},
       "delta": {delta:.4},
@@ -169,13 +190,13 @@ fn main() {
     }}
   }},
   "end_to_end_gbs": {{
-    "compress": {{ "serial": {cs:.4}, "parallel": {cp:.4} }},
-    "decompress": {{ "serial": {ds:.4}, "parallel": {dp:.4} }}
+    "compress": {{ "serial": {cs:.4}, "parallel_by_threads": {{ {comp_by_threads} }} }},
+    "decompress": {{ "serial": {ds:.4}, "parallel_by_threads": {{ {dec_by_threads} }} }}
   }},
   "compression_ratio": {ratio:.4}
 }}
 "#,
-        threads = rayon::current_num_threads(),
+        host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get()),
         quant = gbs(t_quant),
         delta = gbs(t_delta),
         shuf = gbs(t_shuffle),
@@ -185,9 +206,7 @@ fn main() {
         undelta = gbs(t_undelta),
         dequant = gbs(t_dequant),
         cs = gbs(t_comp_serial),
-        cp = gbs(t_comp_parallel),
         ds = gbs(t_dec_serial),
-        dp = gbs(t_dec_parallel),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     print!("{json}");

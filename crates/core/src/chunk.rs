@@ -69,14 +69,12 @@ fn encode_stages<F: PfplFloat, Q: Quantizer<F>>(
     let word_bytes = F::Bits::BITS as usize / 8;
     let raw_len = vals.len() * word_bytes;
 
-    // Stage 0: quantize (+ §III-B lossless-fallback statistics).
-    scratch.words.clear();
-    let mut lossless = 0u64;
-    for &v in vals {
-        let w = q.encode(v);
-        lossless += q.is_lossless_word(w) as u64;
-        scratch.words.push(w);
-    }
+    // Stage 0: quantize (+ §III-B lossless-fallback statistics) via the
+    // batched slice kernel, writing into the pre-sized word buffer. The
+    // resize only touches memory when the chunk length changes (i.e. the
+    // final partial chunk), so steady state does no zero-fill.
+    scratch.words.resize(vals.len(), F::Bits::ZERO);
+    let lossless = q.encode_slice(vals, &mut scratch.words);
 
     // Stage 1: delta + negabinary, in place.
     delta::encode_in_place(&mut scratch.words);
@@ -109,9 +107,12 @@ pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     let (enc_len, lossless) = encode_stages(q, vals, scratch);
     if enc_len >= raw_len {
         // Incompressible: emit the original values unchanged (lossless).
-        let start = out.len();
-        out.resize(start + raw_len, 0);
-        write_raw(vals, &mut out[start..]);
+        // Reserve + append — no zero-fill pass over bytes that are about
+        // to be overwritten anyway.
+        out.reserve(raw_len);
+        for &v in vals {
+            v.to_bits().push_le(out);
+        }
         ChunkInfo {
             raw: true,
             lossless_values: 0,
@@ -189,7 +190,8 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
             payload.len() - used
         )));
     }
-    scratch.words.clear();
+    // Resize without clearing: shuffle::decode overwrites every word, so
+    // zero-filling here would be pure overhead in the steady state.
     scratch.words.resize(vals.len(), F::Bits::ZERO);
     shuffle::decode(&scratch.bytes, &mut scratch.words);
     delta::decode_in_place(&mut scratch.words);

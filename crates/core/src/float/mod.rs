@@ -53,6 +53,8 @@ pub trait Word:
     fn write_le(self, out: &mut [u8]);
     /// Read a word from little-endian bytes (`src.len() == BITS/8`).
     fn read_le(src: &[u8]) -> Self;
+    /// Append the word to `out` in little-endian order.
+    fn push_le(self, out: &mut Vec<u8>);
 
     /// Write `words` into `out` in little-endian order
     /// (`out.len() == words.len() * BITS/8`). The fixed-stride loop
@@ -106,6 +108,10 @@ impl Word for u32 {
     fn read_le(src: &[u8]) -> Self {
         u32::from_le_bytes(src.try_into().expect("word slice length"))
     }
+    #[inline(always)]
+    fn push_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
 }
 
 impl Word for u64 {
@@ -137,6 +143,10 @@ impl Word for u64 {
     #[inline(always)]
     fn read_le(src: &[u8]) -> Self {
         u64::from_le_bytes(src.try_into().expect("word slice length"))
+    }
+    #[inline(always)]
+    fn push_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
     }
 }
 
@@ -198,6 +208,16 @@ pub trait PfplFloat: Copy + PartialOrd + PartialEq + Debug + Send + Sync + 'stat
     /// resulting bin then fails the range check and the value is stored
     /// losslessly, so saturation is harmless.
     fn round_away_i64(self) -> i64;
+
+    /// Truncate toward zero to `i64`, saturating; NaN maps to 0.
+    ///
+    /// This is the bare bit-deterministic float→int cast, used by the
+    /// branchless batch quantizer: `(|v| * scale + 0.5).trunc_sat_i64()`
+    /// equals `|round_away_i64(v * scale)|` for every value whose bin fits
+    /// the encodable range (values outside it — including NaN, which maps
+    /// through 0 but then fails the bound check — are rerouted to the
+    /// scalar path, so the two saturation behaviors never diverge).
+    fn trunc_sat_i64(self) -> i64;
 
     /// Exact ABS-bound check `|v - r| <= eb` (see [`crate::exact`]).
     fn abs_within(v: Self, r: Self, eb: Self) -> bool;
@@ -272,6 +292,10 @@ impl PfplFloat for f32 {
         } else {
             (self - 0.5) as i64
         }
+    }
+    #[inline(always)]
+    fn trunc_sat_i64(self) -> i64 {
+        self as i64
     }
     #[inline(always)]
     fn abs_within(v: Self, r: Self, eb: Self) -> bool {
@@ -349,6 +373,10 @@ impl PfplFloat for f64 {
         } else {
             (self - 0.5) as i64
         }
+    }
+    #[inline(always)]
+    fn trunc_sat_i64(self) -> i64 {
+        self as i64
     }
     #[inline(always)]
     fn abs_within(v: Self, r: Self, eb: Self) -> bool {

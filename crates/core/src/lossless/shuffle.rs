@@ -73,15 +73,17 @@ impl_transpose!(
 );
 
 /// Forward bit shuffle: `words.len() * BITS / 8` bytes are written into
-/// `out` (which must be exactly that long and zeroed by this function).
+/// `out` (which must be exactly that long; every byte is overwritten).
 pub fn encode<W: Transpose>(words: &[W], out: &mut [u8]) {
     let n = words.len();
     let bits = W::BITS as usize;
     assert_eq!(out.len(), n * bits / 8, "output buffer size");
-    out.fill(0);
     if n.is_multiple_of(bits) && n > 0 {
+        // The fast path stores every output byte exactly once — no
+        // zero-fill pass needed.
         encode_fast(words, out);
     } else {
+        out.fill(0);
         encode_scalar(words, out);
     }
 }
@@ -105,10 +107,33 @@ fn encode_fast<W: Transpose>(words: &[W], out: &mut [u8]) {
     let n = words.len();
     let plane_bytes = n / 8;
     let word_bytes = bits / 8;
-    // Stack scratch (BITS ≤ 64): the hot path must not touch the heap.
-    let mut buf = [W::ZERO; 64];
-    let block = &mut buf[..bits];
-    for g in 0..n / bits {
+    let groups = n / bits;
+    // Cache-line batching: transpose `batch` consecutive groups together,
+    // then emit each bit plane as one contiguous 64-byte line instead of
+    // `batch` scattered word-sized stores. `batch * bits` words is always
+    // 512 (= 64 bytes × 8 planes-per-byte), so the working set stays on
+    // the stack regardless of word width.
+    let batch = 64 / word_bytes;
+    let mut blocks = [W::ZERO; 512];
+    let mut line = [W::ZERO; 16];
+    let full = groups / batch;
+    for gb in 0..full {
+        let g0 = gb * batch;
+        blocks[..batch * bits].copy_from_slice(&words[g0 * bits..(g0 + batch) * bits]);
+        for b in 0..batch {
+            W::transpose_block(&mut blocks[b * bits..(b + 1) * bits]);
+        }
+        for p in 0..bits {
+            for b in 0..batch {
+                line[b] = blocks[b * bits + bits - 1 - p];
+            }
+            let off = p * plane_bytes + g0 * word_bytes;
+            W::write_slice_le(&line[..batch], &mut out[off..off + 64]);
+        }
+    }
+    // Remaining groups (fewer than one full cache line per plane).
+    let block = &mut blocks[..bits];
+    for g in full * batch..groups {
         block.copy_from_slice(&words[g * bits..(g + 1) * bits]);
         W::transpose_block(block);
         for p in 0..bits {
@@ -154,10 +179,29 @@ fn decode_fast<W: Transpose>(bytes: &[u8], words: &mut [W]) {
     let n = words.len();
     let plane_bytes = n / 8;
     let word_bytes = bits / 8;
-    // Stack scratch (BITS ≤ 64): the hot path must not touch the heap.
-    let mut buf = [W::ZERO; 64];
-    let block = &mut buf[..bits];
-    for g in 0..n / bits {
+    let groups = n / bits;
+    // Mirror of `encode_fast`: gather each plane as one contiguous
+    // 64-byte line covering `batch` groups, then transpose all of them.
+    let batch = 64 / word_bytes;
+    let mut blocks = [W::ZERO; 512];
+    let mut line = [W::ZERO; 16];
+    let full = groups / batch;
+    for gb in 0..full {
+        let g0 = gb * batch;
+        for p in 0..bits {
+            let off = p * plane_bytes + g0 * word_bytes;
+            W::read_slice_le(&bytes[off..off + 64], &mut line[..batch]);
+            for b in 0..batch {
+                blocks[b * bits + bits - 1 - p] = line[b];
+            }
+        }
+        for b in 0..batch {
+            W::transpose_block(&mut blocks[b * bits..(b + 1) * bits]);
+        }
+        words[g0 * bits..(g0 + batch) * bits].copy_from_slice(&blocks[..batch * bits]);
+    }
+    let block = &mut blocks[..bits];
+    for g in full * batch..groups {
         for p in 0..bits {
             let off = p * plane_bytes + g * word_bytes;
             block[bits - 1 - p] = W::read_le(&bytes[off..off + word_bytes]);

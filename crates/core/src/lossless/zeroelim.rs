@@ -64,11 +64,14 @@ fn build_nonzero_into(src: &[u8], bitmap: &mut Vec<u8>, data: &mut Vec<u8>) {
         bitmap[bi] = mask;
         if mask == 0xFF {
             data.extend_from_slice(chunk);
-        } else if mask != 0 {
-            for (b, &v) in chunk.iter().enumerate() {
-                if mask >> b & 1 == 1 {
-                    data.push(v);
-                }
+        } else {
+            // Emit only the flagged bytes: one iteration per set bit
+            // (ascending, so byte order is preserved) instead of eight
+            // test-and-branch rounds.
+            let mut m = mask;
+            while m != 0 {
+                data.push(chunk[m.trailing_zeros() as usize]);
+                m &= m - 1;
             }
         }
         bi += 1;
@@ -125,10 +128,11 @@ fn build_nonrepeat_into(src: &[u8], bitmap: &mut Vec<u8>, data: &mut Vec<u8>) {
         } else {
             let mask = nonzero_byte_mask(y);
             bitmap[bi] = mask;
-            for (b, &v) in chunk.iter().enumerate() {
-                if mask >> b & 1 == 1 {
-                    data.push(v);
-                }
+            // Set-bit iteration, ascending: same order as a byte scan.
+            let mut m = mask;
+            while m != 0 {
+                data.push(chunk[m.trailing_zeros() as usize]);
+                m &= m - 1;
             }
         }
         bi += 1;
@@ -256,11 +260,13 @@ fn expand_into(
                 i += 8;
                 continue;
             }
-            for b in 0..8 {
-                if mask >> b & 1 == 1 {
-                    out[i + b] = payload[*cursor];
-                    *cursor += 1;
-                }
+            // Scatter the flagged bytes by set-bit iteration (ascending,
+            // matching the encoder's emission order).
+            let mut m = mask;
+            while m != 0 {
+                out[i + m.trailing_zeros() as usize] = payload[*cursor];
+                *cursor += 1;
+                m &= m - 1;
             }
             i += 8;
         }

@@ -128,6 +128,62 @@ impl<F: PfplFloat> Quantizer<F> for AbsQuantizer<F> {
     fn is_lossless_word(&self, w: F::Bits) -> bool {
         w & F::EXP_MASK != F::Bits::ZERO
     }
+
+    /// Batched encode: unrolled groups of 8 with a fully branchless lane
+    /// body. Works on magnitudes — `(|v|·scale + 0.5) as i64` equals
+    /// `|round_away_i64(v·scale)|` (IEEE `*`/`+` are sign-symmetric and
+    /// `scale > 0`), and `|v − recon|` equals `||v| − |recon||` because the
+    /// bin always carries the value's sign — so each lane needs no sign
+    /// dispatch at all. A group is emitted directly when every lane passes
+    /// the fast accept (in-range bin, rounded difference strictly below
+    /// `fast_lo`); otherwise the whole group re-runs through the scalar
+    /// [`Quantizer::encode`], making batched output bit-identical by
+    /// construction. Specials route themselves out of the fast accept:
+    /// NaN gives a NaN difference (`ad < fast_lo` is false), ±∞ and huge
+    /// values give a saturated bin above `max_bin`.
+    fn encode_slice(&self, vals: &[F], out: &mut [F::Bits]) -> u64 {
+        debug_assert_eq!(vals.len(), out.len());
+        let half = F::from_f64(0.5);
+        let scale = self.scale;
+        let eb2 = self.eb2;
+        let fast_lo = self.fast_lo;
+        let max_bin = Self::max_bin() as i64;
+        let mut lossless = 0u64;
+        let mut groups = vals.chunks_exact(8);
+        let mut outs = out.chunks_exact_mut(8);
+        for (vs, ws) in (&mut groups).zip(&mut outs) {
+            // Lanes write straight into the output; the rare slow path
+            // simply overwrites them. `&` (not `&&`) keeps the fast-accept
+            // accumulation branch-free so the loop vectorizes.
+            let mut fast = true;
+            for (w, &v) in ws.iter_mut().zip(vs) {
+                let av = v.abs();
+                let mag = av.mul(scale).add(half).trunc_sat_i64();
+                let recon = F::from_i64(mag).mul(eb2);
+                let ad = av.add(F::from_bits(recon.to_bits() ^ F::SIGN_MASK)).abs();
+                fast &= (ad < fast_lo) & (mag <= max_bin);
+                // -0.0 (and negative denormals binning to 0) must emit the
+                // all-zero word, exactly like the scalar path.
+                let neg = v.is_sign_negative() & (mag != 0);
+                let bin = F::Bits::from_u64(mag as u64);
+                *w = if neg { bin | F::SIGN_MASK } else { bin };
+            }
+            if !fast {
+                for (w, &v) in ws.iter_mut().zip(vs) {
+                    let e = self.encode(v);
+                    lossless += self.is_lossless_word(e) as u64;
+                    *w = e;
+                }
+            }
+            // (all-fast groups are all bins: lossless count unchanged)
+        }
+        for (w, &v) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            let e = self.encode(v);
+            lossless += self.is_lossless_word(e) as u64;
+            *w = e;
+        }
+        lossless
+    }
 }
 
 #[cfg(test)]

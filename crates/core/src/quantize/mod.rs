@@ -35,6 +35,24 @@ pub trait Quantizer<F: PfplFloat>: Send + Sync {
     /// True if `w` holds a losslessly stored value rather than a bin number
     /// (used for the §III-B "unquantizable values" statistics).
     fn is_lossless_word(&self, w: F::Bits) -> bool;
+
+    /// Encode a whole slice into pre-sized `out` (`out.len() ==
+    /// vals.len()`), returning the number of losslessly stored words.
+    ///
+    /// Semantics are exactly `out[i] = encode(vals[i])` — implementations
+    /// may batch, unroll, or shortcut the common case, but every word must
+    /// stay bit-identical to the scalar path (the archive format, and the
+    /// serial/parallel byte-identity guarantee, depend on it).
+    fn encode_slice(&self, vals: &[F], out: &mut [F::Bits]) -> u64 {
+        debug_assert_eq!(vals.len(), out.len());
+        let mut lossless = 0u64;
+        for (w, &v) in out.iter_mut().zip(vals) {
+            let e = self.encode(v);
+            lossless += self.is_lossless_word(e) as u64;
+            *w = e;
+        }
+        lossless
+    }
 }
 
 /// Identity codec used when NOA derives an unusably small absolute bound
@@ -57,5 +75,12 @@ impl<F: PfplFloat> Quantizer<F> for PassthroughQuantizer {
     #[inline(always)]
     fn is_lossless_word(&self, _w: F::Bits) -> bool {
         true
+    }
+    fn encode_slice(&self, vals: &[F], out: &mut [F::Bits]) -> u64 {
+        debug_assert_eq!(vals.len(), out.len());
+        for (w, &v) in out.iter_mut().zip(vals) {
+            *w = v.to_bits();
+        }
+        vals.len() as u64
     }
 }

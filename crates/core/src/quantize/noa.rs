@@ -27,39 +27,32 @@ pub enum NoaBound<F: PfplFloat> {
 /// forces passthrough mode. `-0.0`/`+0.0` ties resolve either way without
 /// affecting the result (`x - (-0.0) == x - 0.0` for the subtraction used).
 pub fn derive_noa_bound<F: PfplFloat>(data: &[F], eb: F) -> NoaBound<F> {
-    let ident = || (None::<F>, None::<F>);
-    let fold = |(mut lo, mut hi): (Option<F>, Option<F>), v: &F| {
+    // Seed with (+∞, −∞) instead of folding Options: the inner loop is
+    // then two branchless conditional moves per value, and NaNs fall out
+    // for free (`NaN < lo` and `NaN > hi` are both false). Empty or
+    // all-NaN input leaves the seeds crossed (`lo > hi`), which the
+    // finite-bound check below converts to passthrough.
+    let ident = || (F::from_f64(f64::INFINITY), F::from_f64(f64::NEG_INFINITY));
+    let fold = |(lo, hi): (F, F), v: &F| {
         let v = *v;
-        if !v.is_nan() {
-            lo = Some(match lo {
-                Some(l) if !(v < l) => l,
-                _ => v,
-            });
-            hi = Some(match hi {
-                Some(h) if !(v > h) => h,
-                _ => v,
-            });
-        }
-        (lo, hi)
+        (
+            if v < lo { v } else { lo },
+            if v > hi { v } else { hi },
+        )
     };
-    let combine = |a: (Option<F>, Option<F>), b: (Option<F>, Option<F>)| {
-        let lo = match (a.0, b.0) {
-            (Some(x), Some(y)) => Some(if y < x { y } else { x }),
-            (x, y) => x.or(y),
-        };
-        let hi = match (a.1, b.1) {
-            (Some(x), Some(y)) => Some(if y > x { y } else { x }),
-            (x, y) => x.or(y),
-        };
-        (lo, hi)
+    let combine = |a: (F, F), b: (F, F)| {
+        (
+            if b.0 < a.0 { b.0 } else { a.0 },
+            if b.1 > a.1 { b.1 } else { a.1 },
+        )
     };
     let (lo, hi) = data
         .par_chunks(1 << 16)
         .map(|c| c.iter().fold(ident(), fold))
         .reduce(ident, combine);
-    let (Some(lo), Some(hi)) = (lo, hi) else {
+    if !(lo <= hi) {
         return NoaBound::Passthrough;
-    };
+    }
     // range = max - min; abs = eb * range, both in F's arithmetic.
     let range = hi.add(F::from_bits(lo.to_bits() ^ F::SIGN_MASK));
     let abs = eb.mul(range);

@@ -121,22 +121,17 @@ impl<F: PfplFloat> RelQuantizer<F> {
     }
 }
 
-impl<F: PfplFloat> Quantizer<F> for RelQuantizer<F> {
+impl<F: PfplFloat> RelQuantizer<F> {
+    /// Encode one *plain* value: finite and nonzero (callers have already
+    /// dispatched NaN/±∞/±0). This is the branch-heavy tail of
+    /// [`Quantizer::encode`], factored out so the batched path can run it
+    /// on prefiltered groups without re-testing the specials per value.
     #[inline]
-    fn encode(&self, v: F) -> F::Bits {
+    fn encode_plain(&self, v: F) -> F::Bits {
         let xm = Self::xor_mask();
         let bits = v.to_bits();
-        if v.is_nan() {
-            // Negative NaNs become positive to vacate the bin range.
-            return (bits & !F::SIGN_MASK) ^ xm;
-        }
-        if !v.is_finite() {
-            return bits ^ xm; // ±∞ lossless
-        }
+        debug_assert!(v.is_finite() && bits & !F::SIGN_MASK != F::Bits::ZERO);
         let vsign = v.is_sign_negative();
-        if bits & !F::SIGN_MASK == F::Bits::ZERO {
-            return Self::pack(vsign, false, Self::zero_mag()) ^ xm;
-        }
         let a = v.abs();
         let lb = portable::log2(a.to_f64());
         let bin = (lb * self.inv_binw).round_away_i64();
@@ -165,6 +160,63 @@ impl<F: PfplFloat> Quantizer<F> for RelQuantizer<F> {
             return bits ^ xm;
         }
         Self::pack(vsign, bin < 0, bin.unsigned_abs()) ^ xm
+    }
+}
+
+impl<F: PfplFloat> Quantizer<F> for RelQuantizer<F> {
+    #[inline]
+    fn encode(&self, v: F) -> F::Bits {
+        let xm = Self::xor_mask();
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // Negative NaNs become positive to vacate the bin range.
+            return (bits & !F::SIGN_MASK) ^ xm;
+        }
+        if !v.is_finite() {
+            return bits ^ xm; // ±∞ lossless
+        }
+        if bits & !F::SIGN_MASK == F::Bits::ZERO {
+            return Self::pack(v.is_sign_negative(), false, Self::zero_mag()) ^ xm;
+        }
+        self.encode_plain(v)
+    }
+
+    /// Batched encode: groups of 8 are prefiltered with one branchless
+    /// pass (`finite && nonzero` per lane); an all-plain group runs the
+    /// factored `encode_plain` body with no special-case tests,
+    /// any other group re-runs the full scalar [`Quantizer::encode`].
+    /// Both paths call the exact same code for each value class, so the
+    /// output is bit-identical to the scalar path by construction.
+    fn encode_slice(&self, vals: &[F], out: &mut [F::Bits]) -> u64 {
+        debug_assert_eq!(vals.len(), out.len());
+        let mut lossless = 0u64;
+        let mut groups = vals.chunks_exact(8);
+        let mut outs = out.chunks_exact_mut(8);
+        for (vs, ws) in (&mut groups).zip(&mut outs) {
+            let mut plain = true;
+            for &v in vs {
+                plain &= v.is_finite() && v.to_bits() & !F::SIGN_MASK != F::Bits::ZERO;
+            }
+            if plain {
+                for (w, &v) in ws.iter_mut().zip(vs) {
+                    let e = self.encode_plain(v);
+                    lossless += self.is_lossless_word(e) as u64;
+                    *w = e;
+                }
+            } else {
+                for (w, &v) in ws.iter_mut().zip(vs) {
+                    let e = self.encode(v);
+                    lossless += self.is_lossless_word(e) as u64;
+                    *w = e;
+                }
+            }
+        }
+        for (w, &v) in outs.into_remainder().iter_mut().zip(groups.remainder()) {
+            let e = self.encode(v);
+            lossless += self.is_lossless_word(e) as u64;
+            *w = e;
+        }
+        lossless
     }
 
     #[inline]

@@ -1,13 +1,18 @@
 //! Persistent-worker grid launcher.
 //!
 //! The paper dynamically assigns chunks to thread blocks for load balance
-//! (§III-E). The simulation runs a fixed set of persistent workers (one OS
-//! thread per simulated SM slot) that repeatedly claim the next block index
-//! from an atomic counter. Because indices are claimed **in ascending
-//! order** and workers never block on *later* indices, any block a worker
-//! waits on during decoupled look-back is either finished or currently
-//! running — the same forward-progress argument real single-pass scans rely
-//! on (resident blocks make progress).
+//! (§III-E). The simulation runs its blocks on the same **persistent
+//! worker pool** that backs the host-side parallel paths
+//! ([`rayon::broadcast`]): each participating thread repeatedly claims the
+//! next block index from an atomic counter, so a launch costs an epoch
+//! broadcast instead of a spawn/join of fresh OS threads per call.
+//! Because indices are claimed **in ascending order** and workers never
+//! block on *later* indices, any block a worker waits on during decoupled
+//! look-back is either finished or currently running — the same
+//! forward-progress argument real single-pass scans rely on (resident
+//! blocks make progress). That argument also survives the pool's inline
+//! nested-launch path (a single sequential claimant finishes every
+//! earlier block before looking back at it).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -24,13 +29,15 @@ where
     launch_init(num_blocks, workers, || (), |(), b| kernel(b));
 }
 
-/// [`launch`] with per-worker state: each worker calls `init` once and
-/// passes the state to every kernel invocation it claims. This models
-/// per-SM shared memory — kernels reuse worker-resident scratch buffers
-/// instead of allocating per block.
+/// [`launch`] with per-worker state: each participating thread calls
+/// `init` at most once (lazily, on its first claimed block) and passes the
+/// state to every kernel invocation it claims. This models per-SM shared
+/// memory — kernels reuse worker-resident scratch buffers instead of
+/// allocating per block.
 ///
 /// # Panics
-/// Propagates panics from kernels (the scope joins all workers).
+/// Propagates panics from kernels (the pool joins all participants before
+/// unwinding).
 pub fn launch_init<S, I, F>(num_blocks: usize, workers: usize, init: I, kernel: F)
 where
     I: Fn() -> S + Sync,
@@ -48,21 +55,18 @@ where
         return;
     }
     let counter = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| {
-                let mut state = init();
-                loop {
-                    let b = counter.fetch_add(1, Ordering::Relaxed);
-                    if b >= num_blocks {
-                        break;
-                    }
-                    kernel(&mut state, b);
-                }
-            });
+    rayon::broadcast(workers, || {
+        // Lazy state: a participant that never claims a block (the whole
+        // grid was drained first) also never pays for an init.
+        let mut state: Option<S> = None;
+        loop {
+            let b = counter.fetch_add(1, Ordering::Relaxed);
+            if b >= num_blocks {
+                break;
+            }
+            kernel(state.get_or_insert_with(&init), b);
         }
-    })
-    .expect("grid worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -51,6 +51,23 @@ fn count<R>(f: impl FnOnce() -> R) -> (usize, R) {
     (allocs() - before, r)
 }
 
+/// Count allocations performed by `f`, taking the **minimum** over
+/// `rounds` identical repeats.
+///
+/// Why minimum: the counter is process-global, and the libtest harness's
+/// main thread lazily allocates its channel-parking context (two small
+/// `Arc`s, observed by backtrace) the first time its `recv` on the
+/// test-event channel actually parks — a scheduling race that can land
+/// inside any single counting window on a busy one-core host. One-time
+/// foreign noise like that pollutes at most one round; an allocation in
+/// the measured code itself would show up in *every* round.
+fn count_min(rounds: usize, mut f: impl FnMut()) -> usize {
+    (0..rounds)
+        .map(|_| count(&mut f).0)
+        .min()
+        .expect("rounds > 0")
+}
+
 fn signal(n: usize) -> Vec<f32> {
     (0..n).map(|i| (i as f32 * 0.002).sin() * 25.0).collect()
 }
@@ -71,12 +88,10 @@ fn steady_state_allocation_accounting() {
     }
     let warm = out.clone();
     out.clear();
-    let (n, ()) = count(|| {
-        for _ in 0..3 {
-            out.clear();
-            for c in &chunks {
-                chunk::compress_chunk(&q, c, &mut scratch, &mut out);
-            }
+    let n = count_min(3, || {
+        out.clear();
+        for c in &chunks {
+            chunk::compress_chunk(&q, c, &mut scratch, &mut out);
         }
     });
     assert_eq!(out, warm, "steady-state output must not change");
@@ -84,11 +99,9 @@ fn steady_state_allocation_accounting() {
 
     // --- compress_chunk_into (slab slots): zero allocations -------------
     let mut slab = vec![0u8; chunks.len() * CHUNK_BYTES];
-    let (n, ()) = count(|| {
-        for _ in 0..3 {
-            for (c, slot) in chunks.iter().zip(slab.chunks_mut(CHUNK_BYTES)) {
-                chunk::compress_chunk_into(&q, c, &mut scratch, slot);
-            }
+    let n = count_min(3, || {
+        for (c, slot) in chunks.iter().zip(slab.chunks_mut(CHUNK_BYTES)) {
+            chunk::compress_chunk_into(&q, c, &mut scratch, slot);
         }
     });
     assert_eq!(n, 0, "compress_chunk_into allocated {n} times in steady state");
@@ -106,11 +119,9 @@ fn steady_state_allocation_accounting() {
     for (p, info) in payloads.iter().zip(&infos) {
         chunk::decompress_chunk(&q, p, info.raw, &mut vals, &mut scratch).unwrap(); // warmup
     }
-    let (n, ()) = count(|| {
-        for _ in 0..3 {
-            for (p, info) in payloads.iter().zip(&infos) {
-                chunk::decompress_chunk(&q, p, info.raw, &mut vals, &mut scratch).unwrap();
-            }
+    let n = count_min(3, || {
+        for (p, info) in payloads.iter().zip(&infos) {
+            chunk::decompress_chunk(&q, p, info.raw, &mut vals, &mut scratch).unwrap();
         }
     });
     assert_eq!(n, 0, "decompress_chunk allocated {n} times in steady state");

@@ -83,6 +83,41 @@ fn known_shapes_identical_across_paths() {
     }
 }
 
+/// Byte-identity must also be invariant in the **pool size**: the parallel
+/// slab assembler gives every chunk a fixed-offset slot, so how chunks are
+/// distributed over workers (including the 1-thread inline path and pools
+/// larger than the host's single core) cannot show through in the archive.
+/// Also exercises persistent-pool reuse across differently-sized jobs.
+#[test]
+fn archives_identical_across_pool_sizes() {
+    let vpc = 16 * 1024 / 4;
+    let mut data: Vec<f32> = (0..7 * vpc + 123)
+        .map(|i| (i as f32 * 0.0017).sin() * 33.0)
+        .collect();
+    data[2 * vpc + 9] = f32::NAN; // force one lossless word mid-archive
+    for bound in [ErrorBound::Abs(1e-3), ErrorBound::Rel(1e-4)] {
+        let reference = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            let arch = pfpl::compress(&data, bound, Mode::Parallel).unwrap();
+            assert_eq!(
+                reference, arch,
+                "parallel archive diverged at {threads} pool threads ({bound:?})"
+            );
+            let back: Vec<f32> = pfpl::decompress(&arch, Mode::Parallel).unwrap();
+            assert_eq!(back.len(), data.len());
+        }
+    }
+    // Restore the default pool size for the rest of this test binary.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+}
+
 #[test]
 fn f64_paths_identical() {
     let data: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.001).cos() * 7.0).collect();

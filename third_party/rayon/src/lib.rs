@@ -7,15 +7,23 @@
 //! `collect` / `reduce` consumers, plus `ThreadPoolBuilder::num_threads`
 //! for sizing the global pool.
 //!
-//! Execution model: every consumer splits the index space `0..len` into
-//! one contiguous range per worker and runs the ranges on scoped OS
-//! threads (`std::thread::scope`). Item order is fully preserved, so all
-//! consumers are deterministic — which the PFPL test suite relies on
-//! (serial and parallel archives must be byte-identical). With one
-//! available core (or `num_threads(1)`) everything runs inline with zero
-//! spawn overhead.
+//! Execution model: consumers run on a **persistent worker pool** (see
+//! `src/pool.rs`) — workers are spawned lazily on first use and reused for
+//! every subsequent parallel call, so steady-state archive compression
+//! never pays a thread create/join round-trip. Participants claim grains
+//! of the index space `0..len` from a shared atomic counter and write
+//! each item into its own pre-reserved slot, so item order is fully
+//! preserved no matter how grains interleave — which the PFPL test suite
+//! relies on (serial and parallel archives must be byte-identical). With
+//! one available core (or `num_threads(1)`) everything runs inline with
+//! zero synchronization overhead.
+
+mod pool;
+
+pub use pool::{broadcast, pool_thread_count};
 
 use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Requested global pool size; 0 means "use the hardware default".
@@ -136,7 +144,7 @@ pub trait ParallelIterator: Sized + Sync {
     where
         C: FromIterator<Self::Item>,
     {
-        run_ordered(&self).into_iter().collect()
+        run_collect_vec(&self).into_iter().collect()
     }
 
     /// Fold items with `op`, seeding every sequential fold with
@@ -147,60 +155,121 @@ pub trait ParallelIterator: Sized + Sync {
         ID: Fn() -> Self::Item + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
     {
-        run_ordered(&self).into_iter().fold(identity(), op)
+        run_collect_vec(&self).into_iter().fold(identity(), op)
     }
 
-    /// Run `f` on every item.
+    /// Run `f` on every item, without materializing any output.
     fn for_each<F>(self, f: F)
     where
         F: Fn(Self::Item) + Sync,
     {
-        self.map(|item| {
-            f(item);
-        })
-        .collect::<Vec<()>>();
+        run_for_each(&Map {
+            base: self,
+            f: move |item| {
+                f(item);
+            },
+        });
     }
 }
 
-/// Evaluate every index of `it` across the worker pool, preserving order.
-fn run_ordered<P: ParallelIterator>(it: &P) -> Vec<P::Item> {
+/// Grain size for atomic index claiming: big enough that the claim
+/// `fetch_add` is noise, small enough that an uneven finish still load
+/// balances (roughly 8 grains per participant).
+fn grain_for(len: usize, threads: usize) -> usize {
+    (len / (threads * 8)).clamp(1, 1024)
+}
+
+/// Raw-pointer wrapper so the output base pointer can cross into the pool
+/// job closure.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: the pointer targets a live buffer owned by the submitting stack
+// frame; participants write disjoint slots (each index is claimed exactly
+// once), so sharing the wrapper is as safe as sharing `&mut [T]` split
+// into disjoint parts.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper instead of the bare pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Evaluate every index of `it` on the persistent pool, writing each item
+/// directly into its final slot — no per-worker `Vec` collection, no
+/// post-hoc stitching. Order is preserved by construction.
+fn run_collect_vec<P: ParallelIterator>(it: &P) -> Vec<P::Item> {
     let len = it.len();
     if len == 0 {
         return Vec::new();
     }
-    let workers = current_num_threads().clamp(1, len);
-    if workers == 1 {
+    let threads = current_num_threads().clamp(1, len);
+    if threads == 1 {
         let mut w = it.make_worker();
         return (0..len).map(|i| it.get(&mut w, i)).collect();
     }
-    // One contiguous index range per worker; ranges are disjoint and cover
-    // 0..len exactly, so mutable sources hand out non-overlapping slices.
-    let base = len / workers;
-    let rem = len % workers;
-    let mut parts: Vec<Vec<P::Item>> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut start = 0usize;
-        for w in 0..workers {
-            let count = base + usize::from(w < rem);
-            let range = start..start + count;
-            start += count;
-            handles.push(s.spawn(move || {
-                let mut state = it.make_worker();
-                range
-                    .map(|i| it.get(&mut state, i))
-                    .collect::<Vec<P::Item>>()
-            }));
-        }
-        for h in handles {
-            parts.push(h.join().expect("rayon-shim worker panicked"));
+    let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(len);
+    // SAFETY: MaybeUninit<T> needs no initialization; the capacity is
+    // reserved above.
+    unsafe { out.set_len(len) };
+    let base = SendPtr(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let grain = grain_for(len, threads);
+    pool::broadcast(threads, || {
+        let mut state = it.make_worker();
+        loop {
+            let start = next.fetch_add(grain, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            for i in start..(start + grain).min(len) {
+                // SAFETY: `i` is claimed exactly once across all
+                // participants, so this slot is written exactly once and
+                // never read concurrently. If a participant panics the
+                // buffer drops as MaybeUninit (leaking items, no UB).
+                unsafe { (*base.get().add(i)).write(it.get(&mut state, i)) };
+            }
         }
     });
-    let mut out = Vec::with_capacity(len);
-    for p in parts {
-        out.extend(p);
+    // Every index in 0..len was claimed and written (broadcast returned
+    // without panicking), so the buffer is fully initialized.
+    let mut out = ManuallyDrop::new(out);
+    // SAFETY: Vec<MaybeUninit<T>> and Vec<T> share layout; all `len`
+    // elements are initialized.
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<P::Item>(), len, out.capacity()) }
+}
+
+/// Evaluate every index of `it` for side effects only (no output buffer).
+fn run_for_each<P: ParallelIterator<Item = ()>>(it: &P) {
+    let len = it.len();
+    if len == 0 {
+        return;
     }
-    out
+    let threads = current_num_threads().clamp(1, len);
+    if threads == 1 {
+        let mut w = it.make_worker();
+        for i in 0..len {
+            it.get(&mut w, i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let grain = grain_for(len, threads);
+    pool::broadcast(threads, || {
+        let mut state = it.make_worker();
+        loop {
+            let start = next.fetch_add(grain, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            for i in start..(start + grain).min(len) {
+                it.get(&mut state, i);
+            }
+        }
+    });
 }
 
 /// Parallel shared-slice iteration (`par_iter`).
@@ -475,6 +544,24 @@ mod tests {
         let b = [10u32, 20, 30];
         let pairs: Vec<(u32, u32)> = a.par_iter().zip(&b).map(|(&x, &y)| (x, y)).collect();
         assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let mut v = vec![0u32; 997];
+        v.par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i as u32 + 1));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i / 64) as u32 + 1));
+
+        let hits = AtomicU32::new(0);
+        [1u32; 500]
+            .par_iter()
+            .for_each(|&x| {
+                hits.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Persistent worker pool backing every parallel consumer in the shim.
+//!
+//! The original shim spawned scoped OS threads (`std::thread::scope`) on
+//! every parallel call, which put a thread-create/join round-trip on each
+//! archive compression and made `--threads N` cost more than it bought on
+//! short inputs. This module keeps a process-wide set of **lazily spawned,
+//! persistent workers** instead:
+//!
+//! * Workers are spawned on first demand and never exit; a later job that
+//!   asks for more threads grows the pool, one that asks for fewer simply
+//!   gates the extras out of the compute loop.
+//! * A job is published as an **epoch broadcast**: the submitter bumps a
+//!   generation counter under a mutex and every worker runs the job
+//!   closure exactly once per epoch. Work *distribution* lives inside the
+//!   closure (callers claim chunk indices from an atomic counter), so the
+//!   pool itself never touches per-item state and item order never depends
+//!   on scheduling.
+//! * The **caller participates**: `broadcast(n, f)` runs `f` on the caller
+//!   plus `n - 1` pool workers, so `--threads 1` and nested calls stay
+//!   zero-overhead inline paths and no thread idles while holding work.
+//!
+//! Submissions are serialized (one job in flight at a time); concurrent
+//! submitters queue on the submission mutex. Nested submissions from
+//! inside a pool job run inline on the submitting worker — this keeps the
+//! pool deadlock-free without a work-stealing scheduler, and the consumers
+//! stay deterministic either way.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+thread_local! {
+    /// True while this thread is inside a pool job — permanently on worker
+    /// threads once they start looping, and on the submitting caller for
+    /// the duration of its own participation. A nested `broadcast` from
+    /// inside a job runs inline instead of re-entering the pool (which
+    /// would deadlock a single-job-in-flight design: the submitter holds
+    /// the submission lock while participating).
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lifetime-erased handle to the current job closure. Only dereferenced
+/// between a job's epoch publication and its `active == 0` completion,
+/// which is strictly inside the submitter's borrow of the closure.
+#[derive(Clone, Copy)]
+struct Task(&'static (dyn Fn() + Sync));
+
+struct Shared {
+    /// Job generation; workers run each generation exactly once.
+    epoch: u64,
+    /// The current job; `Some` exactly while a job is in flight.
+    task: Option<Task>,
+    /// Workers that have not yet acknowledged the current epoch.
+    active: usize,
+    /// Total workers spawned so far (monotonic).
+    spawned: usize,
+    /// A worker's job closure panicked during the current epoch.
+    panicked: bool,
+}
+
+struct Pool {
+    shared: Mutex<Shared>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The submitter waits here for `active` to reach zero.
+    done_cv: Condvar,
+    /// Serializes job submission: one job in flight at a time.
+    submit: Mutex<()>,
+    /// Participation gate: the first `limit` workers to claim a slot run
+    /// the job; the rest acknowledge the epoch and go back to sleep. This
+    /// is how a job can use fewer threads than the pool has spawned.
+    gate: AtomicUsize,
+    limit: AtomicUsize,
+}
+
+/// Lock that shrugs off poisoning: the pool's own state is only mutated
+/// under short, panic-free critical sections, and job panics are caught
+/// and rethrown by [`broadcast`] — a poisoned flag carries no information.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Mutex::new(Shared {
+            epoch: 0,
+            task: None,
+            active: 0,
+            spawned: 0,
+            panicked: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        submit: Mutex::new(()),
+        gate: AtomicUsize::new(0),
+        limit: AtomicUsize::new(0),
+    })
+}
+
+/// Number of persistent workers currently alive (diagnostics and tests;
+/// the pool only ever grows).
+pub fn pool_thread_count() -> usize {
+    POOL.get().map_or(0, |p| lock(&p.shared).spawned)
+}
+
+fn worker_loop(p: &'static Pool, mut seen: u64) {
+    IN_JOB.with(|f| f.set(true));
+    loop {
+        let task = {
+            let mut g = lock(&p.shared);
+            while g.epoch == seen {
+                g = p
+                    .work_cv
+                    .wait(g)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            seen = g.epoch;
+            g.task.expect("epoch advanced without a task")
+        };
+        let participate =
+            p.gate.fetch_add(1, Ordering::Relaxed) < p.limit.load(Ordering::Relaxed);
+        let panicked = participate && catch_unwind(AssertUnwindSafe(|| (task.0)())).is_err();
+        let mut g = lock(&p.shared);
+        g.panicked |= panicked;
+        g.active -= 1;
+        if g.active == 0 {
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+/// Run `f` concurrently on `threads` threads — the caller plus
+/// `threads - 1` persistent pool workers — returning once every
+/// participant has finished. `f` must partition its own work, e.g. by
+/// claiming index ranges from an atomic counter shared via capture.
+///
+/// With `threads <= 1`, or when called from inside a pool job, `f` runs
+/// once inline on the caller (it then sees all the work itself).
+///
+/// # Panics
+/// Propagates a panic from the caller's run of `f`, or panics with a
+/// generic message if a worker's run panicked — in either case only after
+/// every participant has finished, so borrows captured by `f` stay valid
+/// for the job's full duration.
+pub fn broadcast<F: Fn() + Sync>(threads: usize, f: F) {
+    if threads <= 1 || IN_JOB.with(Cell::get) {
+        f();
+        return;
+    }
+    let p = pool();
+    let _serial = lock(&p.submit);
+    let helpers = threads - 1;
+    {
+        let mut g = lock(&p.shared);
+        while g.spawned < helpers {
+            // New workers adopt the current epoch so they wait for the job
+            // published below rather than racing an older generation.
+            let seen = g.epoch;
+            std::thread::Builder::new()
+                .name(format!("pfpl-pool-{}", g.spawned))
+                .spawn(move || worker_loop(pool(), seen))
+                .expect("failed to spawn pool worker");
+            g.spawned += 1;
+        }
+        p.gate.store(0, Ordering::Relaxed);
+        p.limit.store(helpers, Ordering::Relaxed);
+        // SAFETY: the erased reference is only used while this job is in
+        // flight; we do not return (or unwind) past the `active == 0` wait
+        // below, so it never outlives the borrow of `f`.
+        let task: &(dyn Fn() + Sync) = &f;
+        let task: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(task) };
+        g.task = Some(Task(task));
+        g.active = g.spawned;
+        g.epoch += 1;
+        p.work_cv.notify_all();
+    }
+    // The caller is a full participant: it works instead of idling. Mark
+    // it in-job so anything `f` nests runs inline rather than deadlocking
+    // on the submission lock this frame already holds.
+    IN_JOB.with(|c| c.set(true));
+    let caller = catch_unwind(AssertUnwindSafe(&f));
+    IN_JOB.with(|c| c.set(false));
+    let worker_panicked = {
+        let mut g = lock(&p.shared);
+        while g.active > 0 {
+            g = p
+                .done_cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        g.task = None;
+        std::mem::take(&mut g.panicked)
+    };
+    match caller {
+        Err(payload) => resume_unwind(payload),
+        Ok(()) if worker_panicked => panic!("pfpl-pool worker panicked"),
+        Ok(()) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_on_requested_thread_count() {
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let barrier = std::sync::Barrier::new(3);
+        broadcast(3, || {
+            // All three participants must be live simultaneously.
+            barrier.wait();
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        assert_eq!(seen.lock().unwrap().len(), 3);
+        assert!(pool_thread_count() >= 2);
+    }
+
+    #[test]
+    fn workers_persist_across_jobs() {
+        broadcast(3, || {});
+        let after_first = pool_thread_count();
+        for _ in 0..32 {
+            broadcast(3, || {});
+        }
+        assert_eq!(
+            pool_thread_count(),
+            after_first,
+            "repeat jobs must not spawn new threads"
+        );
+    }
+
+    #[test]
+    fn inline_when_single_threaded() {
+        let id = std::thread::current().id();
+        broadcast(1, || assert_eq!(std::thread::current().id(), id));
+    }
+
+    #[test]
+    fn nested_broadcast_runs_inline() {
+        let hits = AtomicU64::new(0);
+        broadcast(2, || {
+            // Both participants (caller and worker) are in-job, so the
+            // nested call runs inline exactly once on each.
+            broadcast(4, || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            broadcast(2, || panic!("job panic"));
+        }));
+        assert!(r.is_err());
+        // The pool must still serve jobs afterwards.
+        let counter = AtomicU64::new(0);
+        broadcast(2, || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+}
