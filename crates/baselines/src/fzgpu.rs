@@ -125,8 +125,13 @@ impl Compressor for FzGpu {
             return Err(BaselineError::Corrupt("word count mismatch".into()));
         }
         let payload = r.block()?;
-        let (shuffled, used) =
-            zeroelim::decode(payload, nwords * 4).map_err(|e| BaselineError::Corrupt(e.to_string()))?;
+        // decode_into, not the allocating `decode`: the scratch and output
+        // buffers are the only per-call allocations and would be reusable
+        // if this comparator ever ran per-chunk.
+        let mut ze = zeroelim::Scratch::default();
+        let mut shuffled = Vec::new();
+        let used = zeroelim::decode_into(payload, nwords * 4, &mut ze, &mut shuffled)
+            .map_err(|e| BaselineError::Corrupt(e.to_string()))?;
         if used != payload.len() {
             return Err(BaselineError::Corrupt("trailing payload bytes".into()));
         }

@@ -2,12 +2,14 @@
 //!
 //! Measures GB/s (uncompressed bytes / median wall-clock, paper §IV
 //! convention) for each of the four pipeline stages in both directions,
-//! plus end-to-end compression and decompression — serial once, parallel
-//! swept across 1/2/4/8 pool threads with the actual thread count keyed
-//! per measurement — and writes the results to `BENCH_pipeline.json`.
-//! `host_cpus` records the machine's available parallelism so scaling
-//! numbers are interpretable (a 1-core host cannot speed up, only show
-//! that the pool costs nothing).
+//! the fused vs staged chunk kernels head-to-head, plus end-to-end
+//! compression and decompression — serial once, parallel swept across
+//! pool threads with the actual thread count keyed per measurement —
+//! and writes the results to `BENCH_pipeline.json`. `host_cpus` records
+//! the machine's available parallelism; sweep points above it are not
+//! measured (the pool clamps them to `host_cpus` workers anyway, and
+//! oversubscribed runs only produce misleading scheduler noise) — their
+//! JSON value is the string `"skipped_oversubscribed"`.
 //!
 //! Flags: `--values N` (input size, default 4 Mi values = 16 MiB),
 //! `--runs R` (median-of-R, default 5), `--out PATH`.
@@ -128,6 +130,44 @@ fn main() {
         }
     });
 
+    // ---- fused vs staged chunk kernels ----------------------------------
+    // Same chunking, same scratch reuse; the only difference is one pass
+    // through L1-resident tiles versus four passes through 16 KiB buffers.
+    let mut cscratch = chunk::Scratch::<f32>::default();
+    let mut cout = Vec::with_capacity(bytes);
+    let t_ck_fused = median_seconds(runs, || {
+        cout.clear();
+        for c in vals.chunks(vpc) {
+            black_box(chunk::compress_chunk(&q, c, &mut cscratch, &mut cout));
+        }
+    });
+    let t_ck_staged = median_seconds(runs, || {
+        cout.clear();
+        for c in vals.chunks(vpc) {
+            black_box(chunk::compress_chunk_staged(&q, c, &mut cscratch, &mut cout));
+        }
+    });
+    let chunk_payloads: Vec<(Vec<u8>, chunk::ChunkInfo, usize)> = vals
+        .chunks(vpc)
+        .map(|c| {
+            let mut v = Vec::new();
+            let info = chunk::compress_chunk(&q, c, &mut cscratch, &mut v);
+            (v, info, c.len())
+        })
+        .collect();
+    let mut cvals = vec![0f32; vpc];
+    let t_ck_dec_fused = median_seconds(runs, || {
+        for (p, info, n) in &chunk_payloads {
+            chunk::decompress_chunk(&q, p, info.raw, &mut cvals[..*n], &mut cscratch).unwrap();
+        }
+    });
+    let t_ck_dec_staged = median_seconds(runs, || {
+        for (p, info, n) in &chunk_payloads {
+            chunk::decompress_chunk_staged(&q, p, info.raw, &mut cvals[..*n], &mut cscratch)
+                .unwrap();
+        }
+    });
+
     // ---- end to end ------------------------------------------------------
     let bound = ErrorBound::Abs(BOUND);
     let archive = pfpl::compress(&vals, bound, Mode::Serial).unwrap();
@@ -142,12 +182,20 @@ fn main() {
     let gbs = |secs: f64| throughput_gbs(bytes, secs);
 
     // Thread-scaling sweep: parallel mode at 1/2/4/8 pool threads, the
-    // actual thread count keyed per measurement (the old file recorded a
-    // single global `threads`, which silently pinned every committed
-    // "parallel" number to a threads-1 run).
+    // actual thread count keyed per measurement. Sweep points above the
+    // host's core count are skipped outright — the pool clamps them to
+    // `host_cpus` workers, so measuring them would just re-time the
+    // clamped configuration and commit it under a misleading key.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut comp_by_threads = String::new();
     let mut dec_by_threads = String::new();
     for (i, &t) in [1usize, 2, 4, 8].iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        if t > host_cpus {
+            comp_by_threads.push_str(&format!("{sep}\"{t}\": \"skipped_oversubscribed\""));
+            dec_by_threads.push_str(&format!("{sep}\"{t}\": \"skipped_oversubscribed\""));
+            continue;
+        }
         rayon::ThreadPoolBuilder::new()
             .num_threads(t)
             .build_global()
@@ -158,7 +206,6 @@ fn main() {
         let td = median_seconds(runs, || {
             black_box(pfpl::decompress::<f32>(&archive, Mode::Parallel).unwrap());
         });
-        let sep = if i == 0 { "" } else { ", " };
         comp_by_threads.push_str(&format!("{sep}\"{t}\": {:.4}", gbs(tc)));
         dec_by_threads.push_str(&format!("{sep}\"{t}\": {:.4}", gbs(td)));
     }
@@ -189,6 +236,10 @@ fn main() {
       "dequantize": {dequant:.4}
     }}
   }},
+  "chunk_kernel_gbs": {{
+    "compress": {{ "fused": {ckf:.4}, "staged": {cks:.4} }},
+    "decompress": {{ "fused": {ckdf:.4}, "staged": {ckds:.4} }}
+  }},
   "end_to_end_gbs": {{
     "compress": {{ "serial": {cs:.4}, "parallel_by_threads": {{ {comp_by_threads} }} }},
     "decompress": {{ "serial": {ds:.4}, "parallel_by_threads": {{ {dec_by_threads} }} }}
@@ -196,7 +247,10 @@ fn main() {
   "compression_ratio": {ratio:.4}
 }}
 "#,
-        host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ckf = gbs(t_ck_fused),
+        cks = gbs(t_ck_staged),
+        ckdf = gbs(t_ck_dec_fused),
+        ckds = gbs(t_ck_dec_staged),
         quant = gbs(t_quant),
         delta = gbs(t_delta),
         shuf = gbs(t_shuffle),

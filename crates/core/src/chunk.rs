@@ -1,11 +1,25 @@
 //! Fused per-chunk pipeline (paper §III-E).
 //!
-//! Data is processed in independent 16 KiB chunks: each chunk is quantized,
-//! delta-coded, bit-shuffled, and zero-eliminated in one pass over scratch
-//! buffers that stay resident in L1 ("the most important optimization is
-//! fusing all four stages"). Chunks whose compressed form would be at least
-//! as large as the raw data are stored raw and flagged, capping worst-case
-//! expansion at the size table's 4 bytes per chunk.
+//! Data is processed in independent 16 KiB chunks. For whole-tile chunks
+//! (every full chunk, and any partial chunk of a multiple of
+//! [`shuffle::TILE_WORDS`] values) all four stages run as one genuinely
+//! fused kernel — "the most important optimization is fusing all four
+//! stages": the quantizer produces 512-word tiles on the stack, each tile
+//! is delta+negabinary-coded as produced (the predecessor carries across
+//! tile boundaries), bit-transposed in place, and every emitted 64-byte
+//! plane line streams straight into zero-elimination
+//! ([`zeroelim::PlaneScratch`]). The intermediate 16 KiB shuffled byte
+//! buffer of the staged pipeline is never materialized; decompression runs
+//! the same fusion in reverse (plane lines are expanded on demand,
+//! inverse-transposed, un-delta'd and dequantized tile by tile). Other
+//! lengths — in practice only the final partial chunk — take the staged
+//! four-pass fallback ([`compress_chunk_staged`]), which also serves as the
+//! equivalence oracle in tests: both paths emit byte-identical archives by
+//! construction.
+//!
+//! Chunks whose compressed form would be at least as large as the raw data
+//! are stored raw and flagged, capping worst-case expansion at the size
+//! table's 4 bytes per chunk.
 //!
 //! Both directions are allocation-free in steady state: the zero-elimination
 //! output is *staged* in [`Scratch`] and only emitted once the raw-fallback
@@ -34,6 +48,11 @@ pub struct Scratch<F: PfplFloat> {
     words: Vec<F::Bits>,
     bytes: Vec<u8>,
     ze: zeroelim::Scratch,
+    /// Streaming zero-elimination sink/source for the fused tile kernel.
+    pe: zeroelim::PlaneScratch,
+    /// Whether the last `encode` staged its payload in `pe` (fused) or
+    /// `ze` (staged) — the emit step must read the matching one.
+    fused: bool,
 }
 
 impl<F: PfplFloat> Default for Scratch<F> {
@@ -42,6 +61,8 @@ impl<F: PfplFloat> Default for Scratch<F> {
             words: Vec::with_capacity(values_per_chunk::<F>()),
             bytes: Vec::with_capacity(CHUNK_BYTES),
             ze: zeroelim::Scratch::default(),
+            pe: zeroelim::PlaneScratch::default(),
+            fused: false,
         }
     }
 }
@@ -57,15 +78,81 @@ pub struct ChunkInfo {
     pub lossless_values: u64,
 }
 
+/// True if the fused tile kernel handles a chunk of `n` values: whole
+/// 512-word tiles only, which also guarantees each bit plane's
+/// `n / 8`-byte extent owns whole bitmap bytes in the zero-elimination
+/// sink. Every full chunk qualifies (4096 f32 / 2048 f64 values); in
+/// practice only the final partial chunk falls back to the staged path.
+const fn fused_ok(n: usize) -> bool {
+    n > 0 && n.is_multiple_of(shuffle::TILE_WORDS)
+}
+
 /// Run stages 0–3 (quantize, delta+negabinary, shuffle, zero-elimination),
-/// leaving the encoded payload staged in `scratch.ze`. Returns the staged
-/// payload length and the quantizer's lossless-word count.
+/// leaving the encoded payload staged in `scratch` (`pe` if fused, `ze` if
+/// staged — recorded in `scratch.fused`). Returns the staged payload
+/// length and the quantizer's lossless-word count.
 fn encode_stages<F: PfplFloat, Q: Quantizer<F>>(
     q: &Q,
     vals: &[F],
     scratch: &mut Scratch<F>,
+    force_staged: bool,
 ) -> (usize, u64) {
     debug_assert!(vals.len() <= values_per_chunk::<F>());
+    scratch.fused = !force_staged && fused_ok(vals.len());
+    if scratch.fused {
+        encode_stages_fused(q, vals, scratch)
+    } else {
+        encode_stages_staged(q, vals, scratch)
+    }
+}
+
+/// The fused four-stage kernel (§III-E): one pass over the input, all
+/// intermediate state in a stack tile, output streamed into the
+/// zero-elimination sink.
+fn encode_stages_fused<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+) -> (usize, u64) {
+    let planes = F::Bits::BITS as usize;
+    scratch.pe.begin(planes, vals.len() / 8);
+    let pe = &mut scratch.pe;
+    let mut tile = [F::Bits::ZERO; shuffle::TILE_WORDS];
+    // One tile's worth of plane lines (2 KiB for f32, 4 KiB for f64) — the
+    // only inter-stage buffer, L1-resident for the whole chunk. Lines are
+    // assembled here in one burst and consumed whole by the sink, which
+    // keeps the narrow lane stores and the sink's 64-byte vector loads out
+    // of each other's store-forwarding window.
+    let mut lines = [0u8; 64 * 64];
+    let lines = &mut lines[..planes * 64];
+    let mut carry = F::Bits::ZERO;
+    let mut lossless = 0u64;
+    for tv in vals.chunks_exact(shuffle::TILE_WORDS) {
+        // Stage 0: quantize the tile (stays in L1).
+        lossless += q.encode_tile(tv, &mut tile);
+        // Stage 1: delta + negabinary, predecessor carried across tiles so
+        // the codes equal a whole-chunk pass.
+        carry = delta::encode_carry(&mut tile, carry);
+        // Stages 2+3: transpose in place; every 64-byte plane line goes
+        // straight into zero-elimination — the 16 KiB shuffled buffer of
+        // the staged path is never written.
+        shuffle::encode_tile_into(&mut tile, lines);
+        for (p, line) in lines.chunks_exact(64).enumerate() {
+            pe.push_line64(p, line.try_into().unwrap());
+        }
+    }
+    (pe.finish_encode(), lossless)
+}
+
+/// The staged four-pass reference pipeline: each stage is a whole-chunk
+/// pass over scratch buffers. Kept for chunks that are not a multiple of
+/// [`shuffle::TILE_WORDS`] values and as the fused kernel's equivalence
+/// oracle — both paths emit byte-identical archives.
+fn encode_stages_staged<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+) -> (usize, u64) {
     let word_bytes = F::Bits::BITS as usize / 8;
     let raw_len = vals.len() * word_bytes;
 
@@ -103,8 +190,32 @@ pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     scratch: &mut Scratch<F>,
     out: &mut Vec<u8>,
 ) -> ChunkInfo {
+    compress_chunk_dispatch(q, vals, scratch, out, false)
+}
+
+/// [`compress_chunk`], but forcing the staged four-pass reference pipeline
+/// even for whole-tile chunks. The archive bytes and [`ChunkInfo`] are
+/// identical to the fused path by construction — this entry point exists
+/// so `tests/fused_equivalence.rs` and the `fused_vs_staged` benchmarks
+/// can assert/measure that.
+pub fn compress_chunk_staged<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+    out: &mut Vec<u8>,
+) -> ChunkInfo {
+    compress_chunk_dispatch(q, vals, scratch, out, true)
+}
+
+fn compress_chunk_dispatch<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    vals: &[F],
+    scratch: &mut Scratch<F>,
+    out: &mut Vec<u8>,
+    force_staged: bool,
+) -> ChunkInfo {
     let raw_len = vals.len() * (F::Bits::BITS as usize / 8);
-    let (enc_len, lossless) = encode_stages(q, vals, scratch);
+    let (enc_len, lossless) = encode_stages(q, vals, scratch, force_staged);
     if enc_len >= raw_len {
         // Incompressible: emit the original values unchanged (lossless).
         // Reserve + append — no zero-fill pass over bytes that are about
@@ -118,7 +229,11 @@ pub fn compress_chunk<F: PfplFloat, Q: Quantizer<F>>(
             lossless_values: 0,
         }
     } else {
-        zeroelim::append_encoded(&scratch.ze, out);
+        if scratch.fused {
+            scratch.pe.append_to(out);
+        } else {
+            zeroelim::append_encoded(&scratch.ze, out);
+        }
         ChunkInfo {
             raw: false,
             lossless_values: lossless,
@@ -138,7 +253,7 @@ pub fn compress_chunk_into<F: PfplFloat, Q: Quantizer<F>>(
     slot: &mut [u8],
 ) -> (usize, ChunkInfo) {
     let raw_len = vals.len() * (F::Bits::BITS as usize / 8);
-    let (enc_len, lossless) = encode_stages(q, vals, scratch);
+    let (enc_len, lossless) = encode_stages(q, vals, scratch, false);
     if enc_len >= raw_len {
         write_raw(vals, &mut slot[..raw_len]);
         (
@@ -149,7 +264,11 @@ pub fn compress_chunk_into<F: PfplFloat, Q: Quantizer<F>>(
             },
         )
     } else {
-        zeroelim::write_encoded(&scratch.ze, &mut slot[..enc_len]);
+        if scratch.fused {
+            scratch.pe.write_to(&mut slot[..enc_len]);
+        } else {
+            zeroelim::write_encoded(&scratch.ze, &mut slot[..enc_len]);
+        }
         (
             enc_len,
             ChunkInfo {
@@ -168,6 +287,30 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     vals: &mut [F],
     scratch: &mut Scratch<F>,
 ) -> Result<()> {
+    decompress_chunk_dispatch(q, payload, raw, vals, scratch, false)
+}
+
+/// [`decompress_chunk`], but forcing the staged four-pass reference
+/// pipeline even for whole-tile chunks (the fused kernel's equivalence
+/// oracle; both decode any valid chunk payload to identical values).
+pub fn decompress_chunk_staged<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    payload: &[u8],
+    raw: bool,
+    vals: &mut [F],
+    scratch: &mut Scratch<F>,
+) -> Result<()> {
+    decompress_chunk_dispatch(q, payload, raw, vals, scratch, true)
+}
+
+fn decompress_chunk_dispatch<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    payload: &[u8],
+    raw: bool,
+    vals: &mut [F],
+    scratch: &mut Scratch<F>,
+    force_staged: bool,
+) -> Result<()> {
     let word_bytes = F::Bits::BITS as usize / 8;
     let raw_len = vals.len() * word_bytes;
     if raw {
@@ -183,6 +326,9 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
         }
         return Ok(());
     }
+    if !force_staged && fused_ok(vals.len()) {
+        return decompress_fused(q, payload, vals, scratch);
+    }
     let used = zeroelim::decode_into(payload, raw_len, &mut scratch.ze, &mut scratch.bytes)?;
     if used != payload.len() {
         return Err(Error::Corrupt(format!(
@@ -197,6 +343,35 @@ pub fn decompress_chunk<F: PfplFloat, Q: Quantizer<F>>(
     delta::decode_in_place(&mut scratch.words);
     for (v, &w) in vals.iter_mut().zip(scratch.words.iter()) {
         *v = q.decode(w);
+    }
+    Ok(())
+}
+
+/// The fused decode kernel: expand only the zero-elimination level
+/// bitmaps up front (`begin_decode` also validates the exact payload
+/// length, covering the staged path's truncation and trailing-bytes
+/// checks), then reconstruct tile by tile — each bit plane's next 64-byte
+/// line is expanded on demand into the inverse transpose, un-delta'd with
+/// the carried predecessor, and dequantized straight into `vals`. Neither
+/// the 16 KiB expanded byte buffer nor the chunk-wide word buffer of the
+/// staged path is touched.
+fn decompress_fused<F: PfplFloat, Q: Quantizer<F>>(
+    q: &Q,
+    payload: &[u8],
+    vals: &mut [F],
+    scratch: &mut Scratch<F>,
+) -> Result<()> {
+    let planes = F::Bits::BITS as usize;
+    scratch.pe.begin_decode(payload, planes, vals.len() / 8)?;
+    let pe = &mut scratch.pe;
+    let mut tile = [F::Bits::ZERO; shuffle::TILE_WORDS];
+    let mut carry = F::Bits::ZERO;
+    for out_t in vals.chunks_exact_mut(shuffle::TILE_WORDS) {
+        shuffle::decode_tile(&mut tile, |p, line| pe.next_line(payload, p, line));
+        carry = delta::decode_carry(&mut tile, carry);
+        for (v, &w) in out_t.iter_mut().zip(tile.iter()) {
+            *v = q.decode(w);
+        }
     }
     Ok(())
 }

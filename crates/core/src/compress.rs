@@ -11,6 +11,12 @@
 //! compression gives each worker a disjoint slot in a pre-allocated slab
 //! and compacts the slots with one exclusive-prefix-sum pass. Neither mode
 //! allocates or copies per-chunk intermediates.
+//!
+//! Per-chunk work routes through [`chunk::compress_chunk`] /
+//! [`chunk::compress_chunk_into`], so every full chunk runs the fused
+//! four-stage tile kernel (§III-E) in both modes; only the final partial
+//! chunk can take the staged fallback. Decompression inherits the fused
+//! decode the same way via [`chunk::decompress_chunk`].
 
 use crate::chunk::{self, Scratch, CHUNK_BYTES};
 use crate::container::{chunk_offsets, patch_size_table, Header, HEADER_LEN, RAW_FLAG};

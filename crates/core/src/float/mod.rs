@@ -219,6 +219,20 @@ pub trait PfplFloat: Copy + PartialOrd + PartialEq + Debug + Send + Sync + 'stat
     /// scalar path, so the two saturation behaviors never diverge).
     fn trunc_sat_i64(self) -> i64;
 
+    /// Truncate toward zero to the *bits-width* signed integer (`i32` for
+    /// `f32`, `i64` for `f64`), saturating, widened to `i64`; NaN maps
+    /// to 0.
+    ///
+    /// The batch quantizers use this instead of [`Self::trunc_sat_i64`]
+    /// because the width-matched conversion vectorizes (one
+    /// `cvttps2dq`-class instruction per lane group), while f32→i64
+    /// lowers to scalar converts. The two saturations differ only for
+    /// magnitudes above `i32::MAX` — far beyond the largest encodable bin
+    /// (`MANT_MASK`, 2^23 − 1 for f32) — so affected lanes fail the
+    /// bin-range fast check and reroute to the scalar path under either
+    /// behavior: batched output stays bit-identical.
+    fn trunc_sat_bin(self) -> i64;
+
     /// Exact ABS-bound check `|v - r| <= eb` (see [`crate::exact`]).
     fn abs_within(v: Self, r: Self, eb: Self) -> bool;
     /// Exact REL-bound check on magnitudes `|a - b| <= eb * a`
@@ -296,6 +310,10 @@ impl PfplFloat for f32 {
     #[inline(always)]
     fn trunc_sat_i64(self) -> i64 {
         self as i64
+    }
+    #[inline(always)]
+    fn trunc_sat_bin(self) -> i64 {
+        (self as i32) as i64
     }
     #[inline(always)]
     fn abs_within(v: Self, r: Self, eb: Self) -> bool {
@@ -376,6 +394,10 @@ impl PfplFloat for f64 {
     }
     #[inline(always)]
     fn trunc_sat_i64(self) -> i64 {
+        self as i64
+    }
+    #[inline(always)]
+    fn trunc_sat_bin(self) -> i64 {
         self as i64
     }
     #[inline(always)]

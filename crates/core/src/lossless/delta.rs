@@ -15,22 +15,40 @@ use crate::float::{negabinary, Word};
 
 /// In-place forward transform: `out[i] = nega(in[i] - in[i-1])`.
 pub fn encode_in_place<W: Word>(words: &mut [W]) {
-    let mut prev = W::ZERO;
+    encode_carry(words, W::ZERO);
+}
+
+/// Forward transform continuing a predecessor chain: the first word is
+/// differenced against `prev` instead of zero, and the last *original*
+/// word is returned as the next carry. The fused chunk kernel uses this
+/// to delta-code one register tile at a time while producing the exact
+/// bytes of a whole-chunk [`encode_in_place`] pass.
+#[inline]
+pub fn encode_carry<W: Word>(words: &mut [W], mut prev: W) -> W {
     for w in words.iter_mut() {
         let cur = *w;
         *w = negabinary::encode(cur.wrapping_sub(prev));
         prev = cur;
     }
+    prev
 }
 
 /// In-place inverse transform (sequential prefix sum).
 pub fn decode_in_place<W: Word>(words: &mut [W]) {
-    let mut prev = W::ZERO;
+    decode_carry(words, W::ZERO);
+}
+
+/// Inverse transform continuing a predecessor chain: the prefix sum seeds
+/// from `prev` and the last *reconstructed* word is returned as the next
+/// carry — the tile-wise mirror of [`encode_carry`].
+#[inline]
+pub fn decode_carry<W: Word>(words: &mut [W], mut prev: W) -> W {
     for w in words.iter_mut() {
         let cur = prev.wrapping_add(negabinary::decode(*w));
         *w = cur;
         prev = cur;
     }
+    prev
 }
 
 #[cfg(test)]
@@ -73,6 +91,26 @@ mod tests {
         encode_in_place(&mut one);
         decode_in_place(&mut one);
         assert_eq!(one, [0xDEAD_BEEF]);
+    }
+
+    #[test]
+    fn carry_splits_match_whole() {
+        // Encoding tile-by-tile with carries must equal one whole pass,
+        // for any split points; same for decoding.
+        let orig: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(0x9E3779B9) >> 7).collect();
+        let mut whole = orig.clone();
+        encode_in_place(&mut whole);
+        let mut split = orig.clone();
+        let mut carry = 0u32;
+        for part in split.chunks_mut(96) {
+            carry = encode_carry(part, carry);
+        }
+        assert_eq!(split, whole);
+        let mut carry = 0u32;
+        for part in split.chunks_mut(96) {
+            carry = decode_carry(part, carry);
+        }
+        assert_eq!(split, orig);
     }
 
     proptest! {

@@ -72,6 +72,81 @@ impl_transpose!(
     ]
 );
 
+/// Words per fused-pipeline tile: `batch` cache-line groups of `BITS`
+/// words each — always 512 (= 64 output bytes × 8 bit-planes-per-byte),
+/// independent of word width. One tile contributes exactly one 64-byte
+/// line to every bit plane.
+pub const TILE_WORDS: usize = 512;
+
+/// Fused-pipeline forward transpose of one [`TILE_WORDS`] tile, in place
+/// (the tile's contents are destroyed). Hands each bit plane's 64-byte
+/// line to `emit(plane, line)`, MSB plane (`p == 0`) first — the same
+/// bytes [`encode`] would store at plane offsets
+/// `[tile_index * 64, tile_index * 64 + 64)`, so streaming consecutive
+/// tiles reproduces each plane of the staged layout in order.
+#[inline]
+pub fn encode_tile<W: Transpose>(tile: &mut [W; TILE_WORDS], mut emit: impl FnMut(usize, &[u8; 64])) {
+    let bits = W::BITS as usize;
+    let batch = TILE_WORDS / bits;
+    for b in 0..batch {
+        W::transpose_block(&mut tile[b * bits..(b + 1) * bits]);
+    }
+    let mut lane = [W::ZERO; 16];
+    let mut line = [0u8; 64];
+    for p in 0..bits {
+        for b in 0..batch {
+            lane[b] = tile[b * bits + bits - 1 - p];
+        }
+        W::write_slice_le(&lane[..batch], &mut line);
+        emit(p, &line);
+    }
+}
+
+/// [`encode_tile`] without the per-line callback: all `BITS` plane lines
+/// of the tile are written contiguously into `out` (line `p` at
+/// `out[p * 64..][..64]`, `out.len() == BITS * 64`). The fused chunk
+/// kernel stages one tile's lines here — a 2–4 KiB L1-resident buffer —
+/// and hands them to the zero-elimination sink whole, which keeps the
+/// line stores and the sink's 64-byte vector loads out of each other's
+/// store-forwarding window.
+#[inline]
+pub fn encode_tile_into<W: Transpose>(tile: &mut [W; TILE_WORDS], out: &mut [u8]) {
+    let bits = W::BITS as usize;
+    let batch = TILE_WORDS / bits;
+    debug_assert_eq!(out.len(), bits * 64);
+    for b in 0..batch {
+        W::transpose_block(&mut tile[b * bits..(b + 1) * bits]);
+    }
+    let mut lane = [W::ZERO; 16];
+    for (p, line) in out.chunks_exact_mut(64).enumerate() {
+        for b in 0..batch {
+            lane[b] = tile[b * bits + bits - 1 - p];
+        }
+        W::write_slice_le(&lane[..batch], line);
+    }
+}
+
+/// Inverse of [`encode_tile`]: `fetch(plane, line)` must fill each plane's
+/// next 64-byte line; the 512 original words are reconstructed into
+/// `tile`.
+#[inline]
+pub fn decode_tile<W: Transpose>(tile: &mut [W; TILE_WORDS], mut fetch: impl FnMut(usize, &mut [u8; 64])) {
+    let bits = W::BITS as usize;
+    let batch = TILE_WORDS / bits;
+    let mut lane = [W::ZERO; 16];
+    let mut line = [0u8; 64];
+    for p in 0..bits {
+        fetch(p, &mut line);
+        W::read_slice_le(&line, &mut lane[..batch]);
+        for b in 0..batch {
+            tile[b * bits + bits - 1 - p] = lane[b];
+        }
+    }
+    for b in 0..batch {
+        W::transpose_block(&mut tile[b * bits..(b + 1) * bits]);
+    }
+}
+
 /// Forward bit shuffle: `words.len() * BITS / 8` bytes are written into
 /// `out` (which must be exactly that long; every byte is overwritten).
 pub fn encode<W: Transpose>(words: &[W], out: &mut [u8]) {
@@ -312,6 +387,49 @@ mod tests {
         #[test]
         fn roundtrip_prop_u32(words: Vec<u32>) {
             roundtrip_u32(&words);
+        }
+
+        /// Tile-at-a-time emission must concatenate (per plane, in tile
+        /// order) to exactly the staged plane-major layout, and
+        /// `decode_tile` must invert it — for both word widths.
+        #[test]
+        fn tile_stream_equals_staged(seed: u64, tiles in 1usize..5) {
+            let n = tiles * TILE_WORDS;
+            let mut x = seed | 1;
+            let mut next = || { x ^= x << 13; x ^= x >> 7; x ^= x << 17; x };
+
+            macro_rules! check {
+                ($w:ty) => {{
+                    let words: Vec<$w> = (0..n).map(|_| next() as $w).collect();
+                    let bits = <$w>::BITS as usize;
+                    let plane_bytes = n / 8;
+                    let mut staged = vec![0u8; n * bits / 8];
+                    encode(&words, &mut staged);
+
+                    let mut streamed = vec![0u8; staged.len()];
+                    let mut tile = [0 as $w; TILE_WORDS];
+                    for (t, tw) in words.chunks_exact(TILE_WORDS).enumerate() {
+                        tile.copy_from_slice(tw);
+                        encode_tile(&mut tile, |p, line| {
+                            let off = p * plane_bytes + t * 64;
+                            streamed[off..off + 64].copy_from_slice(line);
+                        });
+                    }
+                    prop_assert_eq!(&streamed, &staged);
+
+                    let mut back = vec![0 as $w; n];
+                    for (t, tw) in back.chunks_exact_mut(TILE_WORDS).enumerate() {
+                        decode_tile(&mut tile, |p, line| {
+                            let off = p * plane_bytes + t * 64;
+                            line.copy_from_slice(&staged[off..off + 64]);
+                        });
+                        tw.copy_from_slice(&tile);
+                    }
+                    prop_assert_eq!(&back, &words);
+                }};
+            }
+            check!(u32);
+            check!(u64);
         }
 
         #[test]

@@ -158,7 +158,7 @@ impl<F: PfplFloat> Quantizer<F> for AbsQuantizer<F> {
             let mut fast = true;
             for (w, &v) in ws.iter_mut().zip(vs) {
                 let av = v.abs();
-                let mag = av.mul(scale).add(half).trunc_sat_i64();
+                let mag = av.mul(scale).add(half).trunc_sat_bin();
                 let recon = F::from_i64(mag).mul(eb2);
                 let ad = av.add(F::from_bits(recon.to_bits() ^ F::SIGN_MASK)).abs();
                 fast &= (ad < fast_lo) & (mag <= max_bin);

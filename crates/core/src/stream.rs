@@ -13,7 +13,10 @@
 //!
 //! The encoder is allocation-free in steady state: chunk payloads stream
 //! straight onto the growing payload buffer through the shared scratch
-//! set, and chunk-aligned pushes bypass the pending buffer entirely.
+//! set, and chunk-aligned pushes bypass the pending buffer entirely —
+//! each such push runs the fused four-stage tile kernel
+//! ([`chunk::compress_chunk`], §III-E) directly on the caller's slice,
+//! from input values to zero-eliminated payload bytes in one pass.
 //! `finish` splices header, size table, and payloads with a single copy
 //! (the chunk count — and hence the table size — is unknown until then).
 //!

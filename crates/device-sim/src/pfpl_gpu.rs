@@ -8,9 +8,17 @@
 //! * quantization is embarrassingly parallel; delta encoding reads only
 //!   inputs; the bit shuffle runs at warp granularity with
 //!   `log2(wordsize)` butterfly shuffle steps;
-//! * zero-elimination bitmaps are built one byte (8 input bytes) per
-//!   thread without atomics; output compaction uses block-wide exclusive
-//!   scans with per-thread pre-reduction;
+//! * on the encode side the transpose is fused with zero-elimination:
+//!   each warp's per-plane output words stream straight into the bitmap +
+//!   compaction sink ([`pfpl::lossless::zeroelim::PlaneScratch`], shared
+//!   with the CPU fused kernel) without materializing the shuffled chunk;
+//!   the staged block path remains for partial chunks. The decoder keeps
+//!   its block-wide-scan structure — the paper's GPU decoder needs the
+//!   block-level prefix sum, and a tile-sequential carry would not map to
+//!   device threads;
+//! * staged zero-elimination bitmaps are built one byte (8 input bytes)
+//!   per thread without atomics; output compaction uses block-wide
+//!   exclusive scans with per-thread pre-reduction;
 //! * the cumulative compressed size is propagated between blocks with
 //!   decoupled look-back, and each block writes its payload into device
 //!   memory at its exclusive-prefix offset;
@@ -232,6 +240,9 @@ struct EncodeScratch<F: PfplFloat> {
     /// Final chunk payload (compressed or raw fallback).
     payload: Vec<u8>,
     ze: ZeBlockScratch,
+    /// Streaming zero-elimination sink for the fused transpose handoff
+    /// (shared with the CPU fused kernel, so the bytes match trivially).
+    pe: pfpl::lossless::zeroelim::PlaneScratch,
 }
 
 impl<F: PfplFloat> Default for EncodeScratch<F> {
@@ -242,6 +253,7 @@ impl<F: PfplFloat> Default for EncodeScratch<F> {
             shuffled: Vec::new(),
             payload: Vec::new(),
             ze: ZeBlockScratch::default(),
+            pe: pfpl::lossless::zeroelim::PlaneScratch::default(),
         }
     }
 }
@@ -277,20 +289,46 @@ where
         s.deltas.push(negabinary::encode(s.words[i].wrapping_sub(prev)));
     }
 
-    // Bit shuffle at warp granularity (full chunks); the scalar fallback
-    // shares the CPU code path so the bytes match by construction.
-    s.shuffled.resize(raw_len, 0);
-    if !s.deltas.is_empty() && s.deltas.len().is_multiple_of(F::Bits::BITS as usize) {
-        warp_bitshuffle::<F::Bits>(&s.deltas, &mut s.shuffled);
+    // Bit shuffle + zero-elimination. For whole-64-word multiples (every
+    // full chunk) the two stages are fused: each warp-transpose plane word
+    // streams straight into the zero-elimination sink — the chunk-wide
+    // shuffled buffer is never materialized, mirroring the CPU fused
+    // kernel (§III-E). The 64-multiple requirement keeps each plane's
+    // bitmap extent on whole bytes; other shapes (only possible for a
+    // partial final chunk) keep the staged warp/scalar path, which emits
+    // identical bytes by construction.
+    let n = s.deltas.len();
+    let enc_len = if n > 0 && n.is_multiple_of(64) {
+        let bits = F::Bits::BITS as usize;
+        s.pe.begin(bits, n / 8);
+        let (deltas, pe) = (&s.deltas, &mut s.pe);
+        let mut piece = [0u8; 8];
+        for group in deltas.chunks_exact(bits) {
+            F::Bits::warp_transpose(group, |p, t| {
+                t.write_le(&mut piece[..word_bytes]);
+                pe.push(p, &piece[..word_bytes]);
+            });
+        }
+        let enc_len = pe.finish_encode();
+        s.payload.clear();
+        if enc_len < raw_len {
+            s.pe.append_to(&mut s.payload);
+        }
+        enc_len
     } else {
-        shuffle::encode(&s.deltas, &mut s.shuffled);
-    }
+        s.shuffled.resize(raw_len, 0);
+        if n > 0 && n.is_multiple_of(F::Bits::BITS as usize) {
+            warp_bitshuffle::<F::Bits>(&s.deltas, &mut s.shuffled);
+        } else {
+            shuffle::encode(&s.deltas, &mut s.shuffled);
+        }
+        // Zero-byte elimination with block-scan compaction.
+        s.payload.clear();
+        zeroelim_block(&s.shuffled, &mut s.ze, &mut s.payload);
+        s.payload.len()
+    };
 
-    // Zero-byte elimination with block-scan compaction.
-    s.payload.clear();
-    zeroelim_block(&s.shuffled, &mut s.ze, &mut s.payload);
-
-    if s.payload.len() >= raw_len {
+    if enc_len >= raw_len {
         // Raw fallback: emit the original values unchanged (bulk
         // little-endian copy straight into the payload buffer).
         s.payload.clear();

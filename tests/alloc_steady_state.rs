@@ -126,6 +126,37 @@ fn steady_state_allocation_accounting() {
     });
     assert_eq!(n, 0, "decompress_chunk allocated {n} times in steady state");
 
+    // --- staged fallback paths: also zero allocations --------------------
+    // (full chunks default to the fused tile kernel; the staged pipeline
+    // still serves partial chunks and must stay allocation-free too)
+    let n = count_min(3, || {
+        out.clear();
+        for c in &chunks {
+            chunk::compress_chunk_staged(&q, c, &mut scratch, &mut out);
+        }
+        for (p, info) in payloads.iter().zip(&infos) {
+            chunk::decompress_chunk_staged(&q, p, info.raw, &mut vals, &mut scratch).unwrap();
+        }
+    });
+    assert_eq!(n, 0, "staged chunk paths allocated {n} times in steady state");
+
+    // --- zeroelim decode direction: zero allocations after warmup --------
+    // (decode_into is what every decompression path uses since the last
+    // allocating `zeroelim::decode` caller was migrated)
+    let shuffled: Vec<u8> = (0..CHUNK_BYTES).map(|i| ((i * 31) % 256) as u8 & 0x0F).collect();
+    let mut ze = pfpl::lossless::zeroelim::Scratch::default();
+    let mut enc = Vec::new();
+    let total = pfpl::lossless::zeroelim::encode_to_scratch(&shuffled, &mut ze);
+    pfpl::lossless::zeroelim::append_encoded(&ze, &mut enc);
+    assert_eq!(enc.len(), total);
+    let mut back = Vec::new();
+    pfpl::lossless::zeroelim::decode_into(&enc, CHUNK_BYTES, &mut ze, &mut back).unwrap(); // warmup
+    let n = count_min(3, || {
+        pfpl::lossless::zeroelim::decode_into(&enc, CHUNK_BYTES, &mut ze, &mut back).unwrap();
+    });
+    assert_eq!(n, 0, "zeroelim::decode_into allocated {n} times in steady state");
+    assert_eq!(back, shuffled);
+
     // --- whole-archive serial path: O(1) allocations in the chunk count -
     let small = signal(8 * vpc);
     let large = signal(64 * vpc);

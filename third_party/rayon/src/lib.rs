@@ -30,10 +30,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of worker threads parallel consumers will use.
+///
+/// Requests above the hardware parallelism are clamped: the workloads
+/// here are CPU-bound, so oversubscribing only adds scheduler churn
+/// (measured *below* serial throughput on a 1-core host). Callers that
+/// genuinely want more threads than cores can use [`broadcast`] directly,
+/// which takes an explicit count.
 pub fn current_num_threads() -> usize {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     match NUM_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        n => n,
+        0 => host,
+        n => n.min(host),
     }
 }
 
