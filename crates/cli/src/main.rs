@@ -6,6 +6,7 @@
 //! pfpl decompress -i data.pfpl -o restored.f32
 //! pfpl info       -i data.pfpl
 //! pfpl verify     -i data.f32 -a data.pfpl --type f32
+//! pfpl fuzz       --seed 42 --iters 2000
 //! ```
 
 use pfpl::container::Header;
@@ -43,6 +44,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "decompress" => decompress(&opts),
         "info" => info(&opts),
         "verify" => verify(&opts),
+        "fuzz" => fuzz(&opts),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -207,6 +209,29 @@ fn verify(o: &Opts) -> Result<String, String> {
     } else {
         Err(format!(
             "BOUND VIOLATED: max {metric} error {max_err:.6e} > bound {eb:.6e}"
+        ))
+    }
+}
+
+/// Deterministic structure-aware fuzzing of every decode path (see the
+/// `pfpl-fuzz` crate). Exit status reflects the verdict, so CI can run
+/// `pfpl fuzz --seed 42 --iters 2000` directly as a smoke gate.
+fn fuzz(o: &Opts) -> Result<String, String> {
+    let seed = o.u64_or("--seed", 42)?;
+    let iters = o.u64_or("--iters", 1000)?;
+    let report = pfpl_fuzz::run(seed, iters);
+    let summary = format!("fuzz seed {seed}: {}", report.summary());
+    if report.is_clean() {
+        Ok(summary)
+    } else {
+        Err(format!(
+            "{summary}\n{}",
+            report
+                .failures
+                .iter()
+                .map(|f| format!("  - {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
         ))
     }
 }

@@ -9,7 +9,8 @@ usage:
   pfpl compress   -i <raw floats> -o <archive> --type f32|f64 --bound abs|rel|noa --eb <value> [--serial] [--threads N]
   pfpl decompress -i <archive> -o <raw floats> [--serial] [--threads N]
   pfpl info       -i <archive>
-  pfpl verify     -i <raw floats> -a <archive>";
+  pfpl verify     -i <raw floats> -a <archive>
+  pfpl fuzz       [--seed N] [--iters M]";
 
 /// Parsed flag map.
 pub struct Opts {
@@ -81,6 +82,16 @@ impl Opts {
         }
     }
 
+    /// Parse an optional u64 flag with a default (used by `fuzz`).
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("bad {flag} value `{v}` (unsigned integer)")),
+        }
+    }
+
     /// Execution mode (`--serial` opts out of the parallel default).
     pub fn mode(&self) -> Mode {
         if self.bools.iter().any(|b| b == "--serial") {
@@ -122,6 +133,18 @@ mod tests {
         assert!(o.threads().is_err());
         let (_, o) = Opts::parse(&sv(&["compress", "--threads", "four"])).unwrap();
         assert!(o.threads().is_err());
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let (cmd, o) = Opts::parse(&sv(&["fuzz", "--seed", "7", "--iters", "100"])).unwrap();
+        assert_eq!(cmd, "fuzz");
+        assert_eq!(o.u64_or("--seed", 42).unwrap(), 7);
+        assert_eq!(o.u64_or("--iters", 1000).unwrap(), 100);
+        let (_, o) = Opts::parse(&sv(&["fuzz"])).unwrap();
+        assert_eq!(o.u64_or("--seed", 42).unwrap(), 42);
+        let (_, o) = Opts::parse(&sv(&["fuzz", "--seed", "-1"])).unwrap();
+        assert!(o.u64_or("--seed", 42).is_err());
     }
 
     #[test]

@@ -186,15 +186,13 @@ pub fn decompress<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
         });
     }
     let payload = &archive[payload_start..];
-    let offsets = chunk_offsets(&sizes, payload.len())?;
+    let offsets = chunk_offsets(&sizes, payload.len(), payload_start)?;
     let vpc = chunk::values_per_chunk::<F>();
+    // `Header::read` validated count against chunk_count and the size
+    // table's physical presence, so this allocation is capped by what the
+    // archive's real length supports (≤ len * vpc expansion, the format's
+    // legitimate maximum).
     let count = header.count as usize;
-    if count.div_ceil(vpc) != header.chunk_count as usize {
-        return Err(Error::Corrupt(format!(
-            "count {count} inconsistent with {} chunks",
-            header.chunk_count
-        )));
-    }
 
     let derived = F::from_f64(header.derived_bound);
     // Build the quantizer the encoder used; `derived_bound` is exactly
@@ -222,6 +220,7 @@ pub fn decompress<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
             Dec::Rel(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
             Dec::Pass(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
         }
+        .map_err(|e| e.in_chunk(i, payload_start + offsets[i]))
     };
 
     match mode {

@@ -5,7 +5,8 @@
 //! 0       4     magic "PFPL" (little-endian 0x4C50_4650)
 //! 4       2     version (currently 1)
 //! 6       1     flags: bit0 = precision (0 f32 / 1 f64),
-//!               bits1-2 = bound kind (ABS/REL/NOA), bit3 = passthrough
+//!               bits1-2 = bound kind (ABS/REL/NOA), bit3 = passthrough,
+//!               bits4-7 must be zero
 //! 7       1     reserved (0)
 //! 8       8     user error bound (f64 bits)
 //! 16      8     derived bound actually used by the quantizer, widened to
@@ -20,6 +21,12 @@
 //! "concatenated compressed chunks whose sizes are separately stored"; the
 //! decoder prefix-sums it to find each chunk's offset, which is what makes
 //! decompression chunk-parallel (§III-E).
+//!
+//! [`Header::read`] is the trust boundary for untrusted archives: every
+//! length it returns is validated against the bytes physically present, so
+//! downstream loops may index with the returned offsets without further
+//! checks, and no allocation downstream is sized from an unvalidated header
+//! field (see `docs/FORMAT.md` § Validation rules).
 
 use crate::error::{Error, Result};
 use crate::types::{BoundKind, Precision};
@@ -54,6 +61,12 @@ pub struct Header {
 }
 
 impl Header {
+    /// Values per 16 KiB chunk at this header's precision (4096 for f32,
+    /// 2048 for f64).
+    pub fn values_per_chunk(&self) -> usize {
+        crate::chunk::CHUNK_BYTES / self.precision.word_bytes()
+    }
+
     /// Serialize the fixed 36-byte header (without the size table).
     fn write_fixed(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC.to_le_bytes());
@@ -70,8 +83,19 @@ impl Header {
     }
 
     /// Serialize the header and size table into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes.len() != self.chunk_count` — in release builds
+    /// too. A mismatched table would produce an archive whose decoder
+    /// loops desync from its payloads; an encoder bug this basic must
+    /// fail loudly rather than emit a corrupt archive.
     pub fn write(&self, sizes: &[u32], out: &mut Vec<u8>) {
-        debug_assert_eq!(sizes.len(), self.chunk_count as usize);
+        assert_eq!(
+            sizes.len(),
+            self.chunk_count as usize,
+            "size table length must equal the header chunk count"
+        );
         self.write_fixed(out);
         for &s in sizes {
             out.extend_from_slice(&s.to_le_bytes());
@@ -91,12 +115,27 @@ impl Header {
 
     /// Parse a header and size table; returns the header, the size table,
     /// and the offset at which chunk payloads begin.
+    ///
+    /// Total over arbitrary input: every structural claim the fixed header
+    /// makes is validated before it is used —
+    ///
+    /// * magic, version, reserved byte, and undefined flag bits
+    ///   ([`Error::BadHeader`]);
+    /// * `chunk_count == ceil(count / values_per_chunk)`, so a forged
+    ///   count cannot desync downstream per-chunk loops or size an
+    ///   allocation beyond what the (physically present) size table
+    ///   supports ([`Error::CountMismatch`]);
+    /// * the full size table is present in `buf` ([`Error::Truncated`]);
+    ///   all offset arithmetic is checked, so a huge `chunk_count` cannot
+    ///   wrap.
     pub fn read(buf: &[u8]) -> Result<(Header, Vec<u32>, usize)> {
         if buf.len() < HEADER_LEN {
-            return Err(Error::BadHeader(format!(
-                "archive too short: {} bytes",
-                buf.len()
-            )));
+            return Err(Error::Truncated {
+                offset: 0,
+                needed: HEADER_LEN,
+                have: buf.len(),
+                what: "fixed header",
+            });
         }
         let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
         if magic != MAGIC {
@@ -107,29 +146,63 @@ impl Header {
             return Err(Error::BadHeader(format!("unsupported version {version}")));
         }
         let flags = buf[6];
+        if flags & 0xF0 != 0 {
+            return Err(Error::BadHeader(format!(
+                "undefined flag bits set in {flags:#04x}"
+            )));
+        }
+        if buf[7] != 0 {
+            return Err(Error::BadHeader(format!(
+                "reserved byte must be 0, got {:#04x}",
+                buf[7]
+            )));
+        }
         let precision = Precision::from_tag(flags & 1).expect("1-bit tag");
         let kind = BoundKind::from_tag((flags >> 1) & 0b11)
             .ok_or_else(|| Error::BadHeader(format!("bad bound kind in flags {flags:#04x}")))?;
         let passthrough = flags >> 3 & 1 == 1;
+        if passthrough && kind != BoundKind::Noa {
+            return Err(Error::BadHeader(format!(
+                "passthrough flag is only defined for NOA, found {} in flags {flags:#04x}",
+                kind.name()
+            )));
+        }
         let user_bound = f64::from_bits(u64::from_le_bytes(buf[8..16].try_into().unwrap()));
         let derived_bound = f64::from_bits(u64::from_le_bytes(buf[16..24].try_into().unwrap()));
         let count = u64::from_le_bytes(buf[24..32].try_into().unwrap());
         let chunk_count = u32::from_le_bytes(buf[32..36].try_into().unwrap());
-        let table_end = HEADER_LEN + chunk_count as usize * 4;
-        if buf.len() < table_end {
-            return Err(Error::Corrupt(format!(
-                "size table truncated: need {table_end} bytes, have {}",
-                buf.len()
-            )));
+
+        // A forged count must not survive to downstream loops (or to the
+        // output allocation): the chunk count it implies has to match the
+        // stored one exactly, and the matching size table has to be
+        // physically present below. Together these cap every
+        // header-derived quantity by the archive's real length.
+        let vpc = (crate::chunk::CHUNK_BYTES / precision.word_bytes()) as u64;
+        let expected_chunks = count.div_ceil(vpc);
+        if chunk_count as u64 != expected_chunks {
+            return Err(Error::CountMismatch {
+                count,
+                chunk_count,
+                expected_chunks,
+            });
         }
-        let sizes: Vec<u32> = (0..chunk_count as usize)
-            .map(|i| {
-                u32::from_le_bytes(
-                    buf[HEADER_LEN + i * 4..HEADER_LEN + (i + 1) * 4]
-                        .try_into()
-                        .unwrap(),
-                )
-            })
+
+        // Checked table extent: `chunk_count * 4` cannot wrap in u64, and
+        // the cast back to usize only happens once the table is known to
+        // fit inside `buf`.
+        let table_end = HEADER_LEN as u64 + chunk_count as u64 * 4;
+        if (buf.len() as u64) < table_end {
+            return Err(Error::Truncated {
+                offset: buf.len(),
+                needed: (table_end - buf.len() as u64) as usize,
+                have: 0,
+                what: "chunk size table",
+            });
+        }
+        let table_end = table_end as usize;
+        let sizes: Vec<u32> = buf[HEADER_LEN..table_end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
         let header = Header {
             precision,
@@ -156,19 +229,35 @@ pub fn patch_size_table(archive: &mut [u8], sizes: &[u32]) {
 }
 
 /// Compute per-chunk payload offsets (exclusive prefix sum of sizes with
-/// the raw flag stripped); verifies the total length.
-pub fn chunk_offsets(sizes: &[u32], payload_len: usize) -> Result<Vec<usize>> {
+/// the raw flag stripped) with checked arithmetic, verifying the total
+/// against the `payload_len` bytes actually present. `payload_base` is the
+/// archive offset of the payload region, used only to report absolute byte
+/// offsets in errors.
+pub fn chunk_offsets(sizes: &[u32], payload_len: usize, payload_base: usize) -> Result<Vec<usize>> {
     let mut offsets = Vec::with_capacity(sizes.len() + 1);
-    let mut acc = 0usize;
-    for &s in sizes {
-        offsets.push(acc);
-        acc += (s & !RAW_FLAG) as usize;
+    let mut acc = 0u64;
+    for (i, &s) in sizes.iter().enumerate() {
+        offsets.push(acc as usize);
+        acc = match acc.checked_add((s & !RAW_FLAG) as u64) {
+            // Reject as soon as the running sum exceeds what the archive
+            // can hold — keeps `acc as usize` exact on 32-bit hosts too.
+            Some(a) if a <= payload_len as u64 => a,
+            _ => {
+                return Err(Error::SizeTableOverflow {
+                    chunk: i,
+                    total: acc.saturating_add((s & !RAW_FLAG) as u64),
+                })
+            }
+        };
     }
-    offsets.push(acc);
-    if acc != payload_len {
-        return Err(Error::Corrupt(format!(
-            "chunk sizes sum to {acc} but payload is {payload_len} bytes"
-        )));
+    offsets.push(acc as usize);
+    if acc != payload_len as u64 {
+        return Err(Error::Truncated {
+            offset: payload_base + acc as usize,
+            needed: payload_len - acc as usize,
+            have: 0,
+            what: "trailing bytes not claimed by any chunk",
+        });
     }
     Ok(offsets)
 }
@@ -183,8 +272,9 @@ mod tests {
             kind: BoundKind::Noa,
             passthrough: false,
             user_bound: 1e-3,
+            // 3 f32 chunks: count must satisfy ceil(count / 4096) == 3.
             derived_bound: 0.042,
-            count: 123_456,
+            count: 12_000,
             chunk_count: 3,
         }
     }
@@ -214,7 +304,54 @@ mod tests {
         let mut bad = buf.clone();
         bad[6] |= 0b110; // invalid bound kind 3
         assert!(Header::read(&bad).is_err());
+        let mut bad = buf.clone();
+        bad[6] |= 0x40; // undefined flag bit
+        assert!(Header::read(&bad).is_err());
+        let mut bad = buf.clone();
+        bad[7] = 1; // reserved byte
+        assert!(Header::read(&bad).is_err());
         assert!(Header::read(&buf[..40]).is_err(), "truncated size table");
+    }
+
+    #[test]
+    fn rejects_count_chunk_desync() {
+        let mut h = sample_header();
+        h.count = 123_456; // ceil(123456 / 4096) = 31, header claims 3
+        let mut buf = Vec::new();
+        h.write(&[1, 2, 3], &mut buf);
+        assert!(matches!(
+            Header::read(&buf),
+            Err(Error::CountMismatch {
+                expected_chunks: 31,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_passthrough_outside_noa() {
+        let mut h = sample_header();
+        h.kind = BoundKind::Abs;
+        h.passthrough = true;
+        let mut buf = Vec::new();
+        h.write(&[1, 2, 3], &mut buf);
+        assert!(matches!(Header::read(&buf), Err(Error::BadHeader(_))));
+    }
+
+    #[test]
+    fn huge_chunk_count_is_rejected_without_allocating() {
+        // A header claiming u32::MAX chunks must fail on the (absent) size
+        // table, not try to materialize it.
+        let mut h = sample_header();
+        h.chunk_count = u32::MAX;
+        h.count = u64::MAX / 4096 * 4096; // keep count/chunk ratio plausible
+        let mut buf = Vec::new();
+        h.write_fixed(&mut buf);
+        let res = Header::read(&buf);
+        assert!(
+            matches!(res, Err(Error::CountMismatch { .. }) | Err(Error::Truncated { .. })),
+            "{res:?}"
+        );
     }
 
     #[test]
@@ -231,10 +368,30 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "size table length")]
+    fn write_rejects_mismatched_table_in_release_too() {
+        let h = sample_header(); // chunk_count = 3
+        let mut buf = Vec::new();
+        h.write(&[1, 2], &mut buf);
+    }
+
+    #[test]
     fn offsets_checked() {
         let sizes = [10u32, 20 | RAW_FLAG, 30];
-        let offs = chunk_offsets(&sizes, 60).unwrap();
+        let offs = chunk_offsets(&sizes, 60, 0).unwrap();
         assert_eq!(offs, vec![0, 10, 30, 60]);
-        assert!(chunk_offsets(&sizes, 61).is_err());
+        assert!(chunk_offsets(&sizes, 61, 0).is_err());
+        assert!(chunk_offsets(&sizes, 59, 0).is_err());
+    }
+
+    #[test]
+    fn offsets_overflow_rejected() {
+        // Sizes that wrap a 32-bit (or even 64-bit) prefix sum must be
+        // caught by checked arithmetic, not wrapped into bogus offsets.
+        let sizes = vec![0x7FFF_FFFFu32; 8];
+        assert!(matches!(
+            chunk_offsets(&sizes, 100, 0),
+            Err(Error::SizeTableOverflow { .. })
+        ));
     }
 }

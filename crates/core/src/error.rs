@@ -1,4 +1,12 @@
 //! Error type for compression and decompression.
+//!
+//! Decoding is **total over arbitrary byte strings**: for any input,
+//! decompression either returns `Ok` with in-bound values or one of the
+//! structured errors below — never a panic, never an out-of-bounds read,
+//! never an allocation sized from an unvalidated header field. The variants
+//! form the taxonomy a third-party decoder must reproduce (see
+//! `docs/FORMAT.md`); each carries enough byte-offset context to locate the
+//! offending region of the archive.
 
 use std::fmt;
 
@@ -12,9 +20,11 @@ pub enum Error {
     /// or — for ABS — smaller than the smallest positive normal value of the
     /// target precision, which the bin encoding requires, §III-B).
     InvalidErrorBound(String),
-    /// The archive is truncated or structurally malformed.
+    /// The archive is structurally malformed in a way not covered by a more
+    /// specific variant below.
     Corrupt(String),
-    /// The archive magic number or version is not recognized.
+    /// The archive magic number, version, flags, or reserved byte is not
+    /// recognized — the bytes are not a PFPL archive this decoder speaks.
     BadHeader(String),
     /// The archive holds a different precision than the requested decode type.
     PrecisionMismatch {
@@ -23,6 +33,85 @@ pub enum Error {
         /// Precision requested by the caller.
         requested: crate::types::Precision,
     },
+    /// The archive ends before a structure it declares: fewer bytes are
+    /// available at `offset` than the structure needs.
+    Truncated {
+        /// Byte offset into the archive where the missing region begins.
+        offset: usize,
+        /// Bytes the declared structure still requires at `offset`.
+        needed: usize,
+        /// Bytes actually available at `offset`.
+        have: usize,
+        /// What was being read (e.g. "size table", "chunk payload").
+        what: &'static str,
+    },
+    /// The header's value count and chunk count disagree: `chunk_count`
+    /// must equal `ceil(count / values_per_chunk)` for the header's
+    /// precision, or every downstream per-chunk loop would desync.
+    CountMismatch {
+        /// Value count claimed by the header.
+        count: u64,
+        /// Chunk count claimed by the header.
+        chunk_count: u32,
+        /// Chunk count implied by `count` at the header's precision.
+        expected_chunks: u64,
+    },
+    /// The per-chunk size table is inconsistent: its prefix sum overflows,
+    /// or the summed payload sizes disagree with the bytes actually present
+    /// after the table.
+    SizeTableOverflow {
+        /// Index of the chunk whose size entry made the running sum
+        /// overflow or mismatch.
+        chunk: usize,
+        /// The running payload-byte sum at that entry (saturated).
+        total: u64,
+    },
+    /// One chunk's payload does not decode to the byte length the header
+    /// and size table promised for it (truncated mid-chunk, trailing
+    /// garbage, or a survivor-count mismatch in the zero-elimination
+    /// stream).
+    ChunkPayloadMismatch {
+        /// Index of the offending chunk.
+        chunk: usize,
+        /// Byte offset of the chunk's payload within the archive (0 when
+        /// the caller decodes a bare payload without archive context).
+        offset: usize,
+        /// What exactly mismatched.
+        detail: String,
+    },
+}
+
+impl Error {
+    /// Attach chunk-index / archive-offset context to a payload-level
+    /// error. Chunk decoders report offsets relative to their payload;
+    /// archive-level drivers (including external ones such as the
+    /// device simulator) rebase them with this.
+    pub fn in_chunk(self, chunk: usize, payload_offset: usize) -> Error {
+        match self {
+            Error::Corrupt(detail) => Error::ChunkPayloadMismatch {
+                chunk,
+                offset: payload_offset,
+                detail,
+            },
+            Error::ChunkPayloadMismatch { detail, offset, .. } => Error::ChunkPayloadMismatch {
+                chunk,
+                offset: payload_offset + offset,
+                detail,
+            },
+            Error::Truncated {
+                offset,
+                needed,
+                have,
+                what,
+            } => Error::Truncated {
+                offset: payload_offset + offset,
+                needed,
+                have,
+                what,
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -34,6 +123,36 @@ impl fmt::Display for Error {
             Error::PrecisionMismatch { archive, requested } => write!(
                 f,
                 "precision mismatch: archive holds {archive:?}, caller requested {requested:?}"
+            ),
+            Error::Truncated {
+                offset,
+                needed,
+                have,
+                what,
+            } => write!(
+                f,
+                "truncated archive: {what} at byte {offset} needs {needed} bytes, {have} available"
+            ),
+            Error::CountMismatch {
+                count,
+                chunk_count,
+                expected_chunks,
+            } => write!(
+                f,
+                "corrupt header: {count} values imply {expected_chunks} chunks, header claims {chunk_count}"
+            ),
+            Error::SizeTableOverflow { chunk, total } => write!(
+                f,
+                "corrupt size table: payload sizes through chunk {chunk} sum to {total}, \
+                 inconsistent with the archive"
+            ),
+            Error::ChunkPayloadMismatch {
+                chunk,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt chunk {chunk} (payload at byte {offset}): {detail}"
             ),
         }
     }

@@ -128,6 +128,9 @@ mod line {
     /// overwrite.
     #[inline]
     pub fn compress64(line: &[u8; 64], dst: &mut [u8]) -> (u64, usize) {
+        // Caller contract (encode side only — never reachable from archive
+        // bytes): kept as a hard assert because it guards the unsafe
+        // 64-byte store below.
         assert!(dst.len() >= 64);
         // SAFETY: the required target features are statically enabled
         // (this module only compiles when they are); both pointers cover
@@ -148,6 +151,11 @@ mod line {
     #[inline]
     pub fn expand64(mask: u64, src: &[u8], out: &mut [u8; 64]) {
         let need = mask.count_ones() as usize;
+        // Caller contract: every decode caller first proves the payload
+        // holds all survivors (`begin_decode`'s exact-count check /
+        // `expand_into`'s `needed <= avail` check), so this is not
+        // reachable from untrusted archive bytes. Kept as a hard assert
+        // because it guards the unsafe masked load below.
         assert!(src.len() >= need);
         // SAFETY: features statically enabled; the masked load reads only
         // the `need` in-bounds bytes (AVX-512 masked loads suppress faults
@@ -561,19 +569,26 @@ impl PlaneScratch {
     /// bitmap's survivor count *exactly*, which subsumes both the staged
     /// path's truncation error and the chunk layer's trailing-bytes check.
     pub fn begin_decode(&mut self, payload: &[u8], planes: usize, plane_bytes: usize) -> Result<()> {
-        assert!(
-            plane_bytes > 0 && plane_bytes.is_multiple_of(8),
-            "plane_bytes must be a positive multiple of 8, got {plane_bytes}"
-        );
+        if plane_bytes == 0 || !plane_bytes.is_multiple_of(8) {
+            // Shape errors surface as Corrupt rather than a panic so no
+            // decode entry point can be driven into an abort, whatever the
+            // caller passes (the fused chunk kernel always passes a
+            // positive multiple of 64).
+            return Err(Error::Corrupt(format!(
+                "plane_bytes must be a positive multiple of 8, got {plane_bytes}"
+            )));
+        }
         self.planes = planes;
         self.plane_bytes = plane_bytes;
         let n = planes * plane_bytes;
         let top_len = level_len(n, LEVELS);
         if payload.len() < top_len {
-            return Err(Error::Corrupt(format!(
-                "zero-elimination payload shorter than top bitmap ({} < {top_len})",
-                payload.len()
-            )));
+            return Err(Error::Truncated {
+                offset: payload.len(),
+                needed: top_len - payload.len(),
+                have: 0,
+                what: "zero-elimination top bitmap",
+            });
         }
         let mut lo = std::mem::take(&mut self.bitmap_b);
         let mut hi = std::mem::take(&mut self.bitmap_c);
@@ -701,9 +716,12 @@ fn expand_into(
     let needed = popcount_prefix(bitmap, n);
     let avail = payload.len().saturating_sub(*cursor);
     if needed > avail {
-        return Err(Error::Corrupt(format!(
-            "zero-elimination payload truncated: need {needed} bytes, have {avail}"
-        )));
+        return Err(Error::Truncated {
+            offset: *cursor,
+            needed,
+            have: avail,
+            what: "zero-elimination survivor bytes",
+        });
     }
     out.clear();
     out.resize(n, 0);
@@ -785,10 +803,12 @@ pub fn decode_into(
     let n = uncompressed_len;
     let top_len = level_len(n, LEVELS);
     if payload.len() < top_len {
-        return Err(Error::Corrupt(format!(
-            "zero-elimination payload shorter than top bitmap ({} < {top_len})",
-            payload.len()
-        )));
+        return Err(Error::Truncated {
+            offset: payload.len(),
+            needed: top_len - payload.len(),
+            have: 0,
+            what: "zero-elimination top bitmap",
+        });
     }
     s.bitmap_a.clear();
     s.bitmap_a.extend_from_slice(&payload[..top_len]);

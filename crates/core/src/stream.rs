@@ -206,12 +206,11 @@ pub fn decompress_chunks<F: PfplFloat>(
         });
     }
     let payload = &archive[payload_start..];
-    let offsets = crate::container::chunk_offsets(&sizes, payload.len())?;
+    let offsets = crate::container::chunk_offsets(&sizes, payload.len(), payload_start)?;
     let vpc = chunk::values_per_chunk::<F>();
+    // `Header::read` validated count against chunk_count, so
+    // `count - i * vpc` below cannot underflow for any chunk index.
     let count = header.count as usize;
-    if count.div_ceil(vpc) != header.chunk_count as usize {
-        return Err(Error::Corrupt("count/chunk mismatch".into()));
-    }
     enum Q<F: PfplFloat> {
         Abs(AbsQuantizer<F>),
         Rel(RelQuantizer<F>),
@@ -240,7 +239,8 @@ pub fn decompress_chunks<F: PfplFloat>(
             Q::Abs(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
             Q::Rel(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
             Q::Pass(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
-        };
+        }
+        .map_err(|e| e.in_chunk(i, payload_start + offsets[i]));
         i += 1;
         Some(res.map(|()| vals))
     }))

@@ -104,6 +104,14 @@ impl Precision {
             _ => None,
         }
     }
+
+    /// Size of one value of this precision in bytes.
+    pub fn word_bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
 }
 
 /// Execution policy: the PFPL_Serial / PFPL_OMP analogues of the paper.

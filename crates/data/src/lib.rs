@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod golden;
 pub mod metrics;
 pub mod suites;
 pub mod timing;

@@ -46,6 +46,7 @@ use pfpl::quantize::{
 };
 use pfpl::types::{BoundKind, ErrorBound};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A simulated GPU that compresses and decompresses PFPL archives.
 #[derive(Debug, Clone, Copy)]
@@ -174,18 +175,18 @@ impl GpuDevice {
         }
         let payload = &archive[payload_start..];
         // The paper's decoder computes a prefix sum over the stored sizes.
-        let offsets = chunk_offsets(&sizes, payload.len())?;
+        let offsets = chunk_offsets(&sizes, payload.len(), payload_start)?;
         let vpc = pfpl::chunk::values_per_chunk::<F>();
+        // `Header::read` validated count against chunk_count and the size
+        // table's presence, so this allocation is archive-length-bounded
+        // and `count - lo` below cannot underflow.
         let count = header.count as usize;
-        if count.div_ceil(vpc) != header.chunk_count as usize {
-            return Err(Error::Corrupt(format!(
-                "count {count} inconsistent with {} chunks",
-                header.chunk_count
-            )));
-        }
         let derived = F::from_f64(header.derived_bound);
         let out: DeviceSlice<F::Bits> = DeviceSlice::new_with(count, F::Bits::ZERO);
-        let failed = AtomicU32::new(0);
+        // Lowest failing chunk index + its structured error (blocks run in
+        // any order; keeping the lowest index makes the report
+        // deterministic across schedules).
+        let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
 
         let run = |q: &(dyn Quantizer<F> + Sync)| {
             grid::launch_init(
@@ -203,8 +204,11 @@ impl GpuDevice {
                             // exclusively.
                             unsafe { out.write_at(lo, &scratch.words) };
                         }
-                        Err(_) => {
-                            failed.store(1 + b as u32, Ordering::Relaxed);
+                        Err(e) => {
+                            let mut slot = failed.lock().unwrap();
+                            if slot.as_ref().is_none_or(|(prev, _)| b < *prev) {
+                                *slot = Some((b, e.in_chunk(b, payload_start + offsets[b])));
+                            }
                         }
                     }
                 },
@@ -218,9 +222,8 @@ impl GpuDevice {
                 BoundKind::Rel => run(&RelQuantizer::<F>::new(derived)?),
             }
         }
-        let f = failed.load(Ordering::Relaxed);
-        if f != 0 {
-            return Err(Error::Corrupt(format!("chunk {} failed to decode", f - 1)));
+        if let Some((_, e)) = failed.into_inner().unwrap() {
+            return Err(e);
         }
         Ok(out.into_vec().into_iter().map(F::from_bits).collect())
     }

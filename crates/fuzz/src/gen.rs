@@ -1,0 +1,179 @@
+//! Structure-aware test-case generation: deterministic synthesis of *valid*
+//! archives (the interesting corruptions live near valid structure, not in
+//! uniform noise), spanning both precisions, all three bound kinds, the
+//! passthrough degenerate case, and raw-fallback chunks.
+
+use crate::rng::Rng;
+use pfpl::float::PfplFloat;
+use pfpl::types::{ErrorBound, Mode};
+
+/// Value-pattern families, chosen to exercise every encoder regime:
+/// compressible planes (smooth), passthrough (constant under NOA), raw
+/// fallback (noise under a tight bound), dense zero-elimination (sparse),
+/// and the lossless fallback paths (specials).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Slowly varying wave — the typical compressible input.
+    Smooth,
+    /// A single repeated value — NOA degenerates to passthrough.
+    Constant,
+    /// Full-range random bit patterns — incompressible, raw chunks.
+    Noise,
+    /// Mostly zeros with occasional spikes — dense zero elimination.
+    Sparse,
+    /// Smooth with NaN/±∞/−0.0/denormals sprinkled in — lossless fallback.
+    Specials,
+}
+
+const PATTERNS: [Pattern; 5] = [
+    Pattern::Smooth,
+    Pattern::Constant,
+    Pattern::Noise,
+    Pattern::Sparse,
+    Pattern::Specials,
+];
+
+/// One generated test case: the original values, the bound they were
+/// compressed under, and the resulting (valid) archive.
+pub struct Case<F: PfplFloat> {
+    pub data: Vec<F>,
+    pub bound: ErrorBound,
+    pub archive: Vec<u8>,
+    pub pattern: Pattern,
+}
+
+/// Number of values: biased toward the structural edge cases — empty, a
+/// single value, chunk-boundary ±1, tile multiples (fused path), odd tails
+/// (staged path) — with a uniform filler for everything in between.
+fn pick_len(rng: &mut Rng, vpc: usize) -> usize {
+    match rng.below(8) {
+        0 => 0,
+        1 => 1,
+        2 => vpc - 1,
+        3 => vpc,
+        4 => vpc + 1,
+        5 => rng.range(1, 5) * 512, // whole tiles: fused kernel
+        6 => rng.range(1, 3) * vpc + rng.below(100), // multi-chunk + tail
+        _ => rng.range(1, 2 * vpc + 600),
+    }
+}
+
+fn pick_bound(rng: &mut Rng) -> ErrorBound {
+    let eb = 10f64.powi(-(rng.range(1, 7) as i32)) * (1.0 + rng.unit_f64());
+    match rng.below(3) {
+        0 => ErrorBound::Abs(eb),
+        1 => ErrorBound::Rel(eb),
+        _ => ErrorBound::Noa(eb),
+    }
+}
+
+fn gen_values<F: PfplFloat>(rng: &mut Rng, pattern: Pattern, n: usize) -> Vec<F> {
+    match pattern {
+        Pattern::Smooth => {
+            let freq = 0.001 + rng.unit_f64() * 0.01;
+            let amp = 10f64.powi(rng.range(0, 5) as i32 - 2);
+            (0..n)
+                .map(|i| F::from_f64((i as f64 * freq).sin() * amp))
+                .collect()
+        }
+        Pattern::Constant => {
+            let v = F::from_f64((rng.unit_f64() - 0.5) * 100.0);
+            vec![v; n]
+        }
+        Pattern::Noise => (0..n)
+            .map(|_| {
+                // Random finite bit patterns across the full exponent range.
+                let bits = rng.next_u64();
+                let v = F::from_bits(pfpl::float::Word::from_u64(bits));
+                if v.is_finite() {
+                    v
+                } else {
+                    F::from_f64(rng.unit_f64())
+                }
+            })
+            .collect(),
+        Pattern::Sparse => (0..n)
+            .map(|_| {
+                if rng.chance(1, 10) {
+                    F::from_f64((rng.unit_f64() - 0.5) * 1e3)
+                } else {
+                    F::ZERO
+                }
+            })
+            .collect(),
+        Pattern::Specials => {
+            let mut vals = gen_values::<F>(rng, Pattern::Smooth, n);
+            if n > 0 {
+                for _ in 0..rng.range(1, 1 + n.div_ceil(50)) {
+                    let i = rng.below(n);
+                    vals[i] = match rng.below(5) {
+                        0 => F::from_f64(f64::NAN),
+                        1 => F::from_f64(f64::INFINITY),
+                        2 => F::from_f64(f64::NEG_INFINITY),
+                        3 => F::from_f64(-0.0),
+                        // Denormal: the smallest positive representable value.
+                        _ => F::from_bits(pfpl::float::Word::from_u64(1)),
+                    };
+                }
+            }
+            vals
+        }
+    }
+}
+
+/// Generate one valid archive for precision `F`. Compression itself must
+/// not fail for any generated input — a generator-side panic or error is a
+/// finding too, surfaced by the caller.
+pub fn gen_case<F: PfplFloat>(rng: &mut Rng) -> Case<F> {
+    let vpc = pfpl::chunk::values_per_chunk::<F>();
+    let pattern = *rng.pick(&PATTERNS);
+    let n = pick_len(rng, vpc);
+    // Noise data only produces raw chunks under a bound tight enough that
+    // most words go lossless; bias it that way.
+    let bound = if pattern == Pattern::Noise && rng.chance(2, 3) {
+        ErrorBound::Rel(1e-9)
+    } else {
+        pick_bound(rng)
+    };
+    let data = gen_values::<F>(rng, pattern, n);
+    let archive = pfpl::compress(&data, bound, Mode::Serial)
+        .expect("compression of generated data must succeed");
+    Case {
+        data,
+        bound,
+        archive,
+        pattern,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_case::<f32>(&mut Rng::new(9));
+        let b = gen_case::<f32>(&mut Rng::new(9));
+        assert_eq!(a.archive, b.archive);
+        assert_eq!(a.data.len(), b.data.len());
+    }
+
+    #[test]
+    fn all_patterns_reachable() {
+        let mut rng = Rng::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(format!("{:?}", gen_case::<f32>(&mut rng).pattern));
+        }
+        assert!(seen.len() >= 4, "saw only {seen:?}");
+    }
+
+    #[test]
+    fn f64_cases_generate() {
+        let mut rng = Rng::new(5);
+        for _ in 0..20 {
+            let c = gen_case::<f64>(&mut rng);
+            assert!(c.archive.len() >= pfpl::container::HEADER_LEN);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Golden-archive byte-stability: the committed fixtures under
+//! `tests/golden/` are the canonical serialization of known datasets. Any
+//! encoder change that alters the bytes breaks these tests and must be a
+//! deliberate format decision, acknowledged by regenerating the fixtures:
+//!
+//! ```text
+//! PFPL_REGEN_GOLDEN=1 cargo test --test golden_fixtures
+//! ```
+
+use pfpl::types::{Mode, Precision};
+use pfpl_data::golden::{golden_archive, golden_specs};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    golden_dir().join(format!("{name}.pfpl"))
+}
+
+#[test]
+fn golden_archives_are_byte_stable() {
+    let regen = std::env::var("PFPL_REGEN_GOLDEN").is_ok();
+    if regen {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+    }
+    for spec in golden_specs() {
+        let path = fixture_path(spec.name);
+        let bytes = golden_archive(&spec);
+        if regen {
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — regenerate with PFPL_REGEN_GOLDEN=1 cargo test --test golden_fixtures",
+                path.display()
+            )
+        });
+        assert_eq!(
+            committed, bytes,
+            "{} serialized differently than the committed fixture — \
+             an encoder change altered the format",
+            spec.name
+        );
+    }
+}
+
+/// Every committed fixture decodes identically through the serial,
+/// parallel, and streaming paths.
+#[test]
+fn golden_archives_decode_identically_on_all_paths() {
+    for spec in golden_specs() {
+        let archive = std::fs::read(fixture_path(spec.name)).unwrap();
+        match spec.precision {
+            Precision::Single => assert_paths_agree::<f32>(&archive, spec.name),
+            Precision::Double => assert_paths_agree::<f64>(&archive, spec.name),
+        }
+    }
+}
+
+fn assert_paths_agree<F: pfpl::float::PfplFloat>(archive: &[u8], name: &str) {
+    let serial: Vec<F> = pfpl::decompress(archive, Mode::Serial).unwrap();
+    let parallel: Vec<F> = pfpl::decompress(archive, Mode::Parallel).unwrap();
+    let mut streamed: Vec<F> = Vec::new();
+    for chunk in pfpl::decompress_chunks::<F>(archive).unwrap() {
+        streamed.extend(chunk.unwrap());
+    }
+    let bits = |v: &[F]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial), bits(&parallel), "{name}: serial vs parallel");
+    assert_eq!(bits(&serial), bits(&streamed), "{name}: serial vs stream");
+}
