@@ -179,6 +179,37 @@ fn main() {
         black_box(pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap());
     });
 
+    // ---- integrity: checksum tax and salvage throughput ------------------
+    // `decompress` verifies every chunk against the v2 checksum table by
+    // default; `decompress_unverified` isolates the tax. The two are timed
+    // interleaved (verified, unverified, verified, ...) so slow clock drift
+    // on a shared host hits both paths equally instead of skewing the
+    // ratio — the tax is a CI gate, so it must not absorb ambient noise.
+    let (t_dec_verified, t_dec_unverified) = {
+        black_box(pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap());
+        black_box(pfpl::decompress_unverified::<f32>(&archive, Mode::Serial).unwrap());
+        let (mut tv, mut tu) = (Vec::with_capacity(runs), Vec::with_capacity(runs));
+        for _ in 0..runs {
+            let t0 = std::time::Instant::now();
+            black_box(pfpl::decompress::<f32>(&archive, Mode::Serial).unwrap());
+            tv.push(t0.elapsed().as_secs_f64());
+            let t0 = std::time::Instant::now();
+            black_box(pfpl::decompress_unverified::<f32>(&archive, Mode::Serial).unwrap());
+            tu.push(t0.elapsed().as_secs_f64());
+        }
+        let med = |ts: &mut Vec<f64>| {
+            ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ts[ts.len() / 2]
+        };
+        (med(&mut tv), med(&mut tu))
+    };
+    let t_salvage = median_seconds(runs, || {
+        black_box(pfpl::decompress_salvage::<f32>(&archive, Mode::Serial, 0.0f32).unwrap());
+    });
+    let t_verify_only = median_seconds(runs, || {
+        black_box(pfpl::verify_archive::<f32>(&archive).unwrap());
+    });
+
     let gbs = |secs: f64| throughput_gbs(bytes, secs);
 
     // Thread-scaling sweep: parallel mode at 1/2/4/8 pool threads, the
@@ -244,9 +275,21 @@ fn main() {
     "compress": {{ "serial": {cs:.4}, "parallel_by_threads": {{ {comp_by_threads} }} }},
     "decompress": {{ "serial": {ds:.4}, "parallel_by_threads": {{ {dec_by_threads} }} }}
   }},
+  "integrity_gbs": {{
+    "decompress_verified": {dv:.4},
+    "decompress_unverified": {du:.4},
+    "salvage": {sal:.4},
+    "verify_only": {vo:.4},
+    "verified_over_unverified": {tax:.4}
+  }},
   "compression_ratio": {ratio:.4}
 }}
 "#,
+        dv = gbs(t_dec_verified),
+        du = gbs(t_dec_unverified),
+        sal = gbs(t_salvage),
+        vo = gbs(t_verify_only),
+        tax = t_dec_unverified / t_dec_verified.max(1e-12),
         ckf = gbs(t_ck_fused),
         cks = gbs(t_ck_staged),
         ckdf = gbs(t_ck_dec_fused),

@@ -3,14 +3,15 @@
 use pfpl::types::{ErrorBound, Mode};
 use std::collections::HashMap;
 
-/// Usage text printed on errors.
+/// Usage text printed on invocation errors (runtime failures skip it).
 pub const USAGE: &str = "\
 usage:
   pfpl compress   -i <raw floats> -o <archive> --type f32|f64 --bound abs|rel|noa --eb <value> [--serial] [--threads N]
   pfpl decompress -i <archive> -o <raw floats> [--serial] [--threads N]
   pfpl info       -i <archive>
-  pfpl verify     -i <raw floats> -a <archive>
-  pfpl fuzz       [--seed N] [--iters M]";
+  pfpl verify     -a <archive> [-i <raw floats>] [--threads N]
+  pfpl salvage    -i <archive> -o <raw floats> [--fill <value>] [--serial] [--threads N]
+  pfpl fuzz       [--seed N] [--iters M] [--mode decode|salvage]";
 
 /// Parsed flag map.
 pub struct Opts {
@@ -46,10 +47,13 @@ impl Opts {
 
     /// Fetch a required flag value.
     pub fn require(&self, flag: &str) -> Result<&str, String> {
-        self.flags
-            .get(flag)
-            .map(String::as_str)
+        self.get(flag)
             .ok_or_else(|| format!("missing required flag {flag}"))
+    }
+
+    /// Fetch an optional flag value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
     }
 
     /// Parse `--type`.
@@ -89,6 +93,18 @@ impl Opts {
             Some(v) => v
                 .parse::<u64>()
                 .map_err(|_| format!("bad {flag} value `{v}` (unsigned integer)")),
+        }
+    }
+
+    /// Parse an optional f64 flag with a default (used by `salvage
+    /// --fill`). Accepts anything `f64::from_str` does, including `nan`
+    /// and `inf`.
+    pub fn f64_or(&self, flag: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .map_err(|_| format!("bad {flag} value `{v}` (float)")),
         }
     }
 
@@ -145,6 +161,20 @@ mod tests {
         assert_eq!(o.u64_or("--seed", 42).unwrap(), 42);
         let (_, o) = Opts::parse(&sv(&["fuzz", "--seed", "-1"])).unwrap();
         assert!(o.u64_or("--seed", 42).is_err());
+    }
+
+    #[test]
+    fn parses_salvage_fill_flag() {
+        let (_, o) = Opts::parse(&sv(&["salvage", "--fill", "-1.5"])).unwrap();
+        assert_eq!(o.f64_or("--fill", f64::NAN).unwrap(), -1.5);
+        let (_, o) = Opts::parse(&sv(&["salvage"])).unwrap();
+        assert!(o.f64_or("--fill", f64::NAN).unwrap().is_nan());
+        let (_, o) = Opts::parse(&sv(&["salvage", "--fill", "nan"])).unwrap();
+        assert!(o.f64_or("--fill", 0.0).unwrap().is_nan());
+        let (_, o) = Opts::parse(&sv(&["salvage", "--fill", "wide"])).unwrap();
+        assert!(o.f64_or("--fill", 0.0).is_err());
+        assert_eq!(o.get("--fill"), Some("wide"));
+        assert_eq!(o.get("--nope"), None);
     }
 
     #[test]

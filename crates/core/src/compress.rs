@@ -19,7 +19,9 @@
 //! decode the same way via [`chunk::decompress_chunk`].
 
 use crate::chunk::{self, Scratch, CHUNK_BYTES};
-use crate::container::{chunk_offsets, patch_size_table, Header, HEADER_LEN, RAW_FLAG};
+use crate::container::{
+    chunk_offsets, patch_tables, payload_checksum, Header, Toc, RAW_FLAG, V2_HEADER_LEN,
+};
 use crate::error::{Error, Result};
 use crate::float::{bound_toward_zero, PfplFloat, Word};
 use crate::quantize::{
@@ -110,9 +112,10 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
             // chunk, mirroring the paper's L1-resident double buffer — no
             // per-chunk buffer, no second copy, no per-chunk allocation.
             let raw_total = data.len() * (F::Bits::BITS as usize / 8);
-            let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + raw_total);
+            let mut archive = Vec::with_capacity(V2_HEADER_LEN + 8 * nchunks + raw_total);
             header.write_placeholder(&mut archive);
             let mut sizes = vec![0u32; nchunks];
+            let mut checksums = vec![0u32; nchunks];
             let mut scratch = Scratch::default();
             for (i, c) in data.chunks(vpc).enumerate() {
                 let start = archive.len();
@@ -123,9 +126,10 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
                     raw_chunks += 1;
                 }
                 sizes[i] = s;
+                checksums[i] = payload_checksum(i, &archive[start..]);
                 lossless += info.lossless_values;
             }
-            patch_size_table(&mut archive, &sizes);
+            patch_tables(&mut archive, &sizes, &checksums);
             archive
         }
         Mode::Parallel => {
@@ -135,30 +139,37 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
             // buffers — then a sequential exclusive-prefix-sum pass compacts
             // the slots into the final archive.
             let mut slab = vec![0u8; nchunks * CHUNK_BYTES];
-            let metas: Vec<(usize, chunk::ChunkInfo)> = slab
+            // Each worker also digests its own payload while it is still
+            // hot in cache — the checksum rides along with the compression
+            // pass instead of costing a second sweep over the slab.
+            let metas: Vec<(usize, chunk::ChunkInfo, u32)> = slab
                 .par_chunks_mut(CHUNK_BYTES)
                 .enumerate()
                 .map_init(Scratch::default, |scratch, (i, slot)| {
                     let lo = i * vpc;
                     let hi = data.len().min(lo + vpc);
-                    chunk::compress_chunk_into(q, &data[lo..hi], scratch, slot)
+                    let (len, info) = chunk::compress_chunk_into(q, &data[lo..hi], scratch, slot);
+                    let digest = payload_checksum(i, &slot[..len]);
+                    (len, info, digest)
                 })
                 .collect();
             let mut sizes = Vec::with_capacity(nchunks);
+            let mut checksums = Vec::with_capacity(nchunks);
             let mut payload_len = 0usize;
-            for (len, info) in &metas {
+            for (len, info, digest) in &metas {
                 let mut s = *len as u32;
                 if info.raw {
                     s |= RAW_FLAG;
                     raw_chunks += 1;
                 }
                 sizes.push(s);
+                checksums.push(*digest);
                 lossless += info.lossless_values;
                 payload_len += len;
             }
-            let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + payload_len);
-            header.write(&sizes, &mut archive);
-            for (i, (len, _)) in metas.iter().enumerate() {
+            let mut archive = Vec::with_capacity(V2_HEADER_LEN + 8 * nchunks + payload_len);
+            header.write(&sizes, &checksums, &mut archive);
+            for (i, (len, _, _)) in metas.iter().enumerate() {
                 archive.extend_from_slice(&slab[i * CHUNK_BYTES..i * CHUNK_BYTES + len]);
             }
             archive
@@ -176,9 +187,78 @@ fn run_compress<F: PfplFloat, Q: Quantizer<F>>(
     Ok((archive, stats))
 }
 
+/// The decode-side quantizer dispatch, reconstructed from an archive
+/// header. Shared by every decompression driver — strict serial/parallel,
+/// streaming, salvage, the device simulator, and the fuzz harness — so a
+/// chunk decodes to identical bits no matter which driver asked.
+pub enum ChunkDecoder<F: PfplFloat> {
+    /// ABS/NOA archives decode through the absolute quantizer.
+    Abs(AbsQuantizer<F>),
+    /// REL archives decode through the relative quantizer.
+    Rel(RelQuantizer<F>),
+    /// NOA-degenerate (zero-range) archives are lossless passthrough.
+    Pass(PassthroughQuantizer),
+}
+
+impl<F: PfplFloat> ChunkDecoder<F> {
+    /// Build the quantizer the encoder used; `derived_bound` is exactly
+    /// representable in `F` by construction. The caller must already have
+    /// checked `header.precision == F::PRECISION`.
+    pub fn from_header(header: &Header) -> Result<Self> {
+        let derived = F::from_f64(header.derived_bound);
+        Ok(if header.passthrough {
+            ChunkDecoder::Pass(PassthroughQuantizer)
+        } else {
+            match header.kind {
+                BoundKind::Abs | BoundKind::Noa => ChunkDecoder::Abs(AbsQuantizer::new(derived)?),
+                BoundKind::Rel => ChunkDecoder::Rel(RelQuantizer::new(derived)?),
+            }
+        })
+    }
+
+    /// Decode one chunk payload into `vals` (fused kernel on full chunks,
+    /// staged fallback on partials). Errors are payload-relative; rebase
+    /// with [`Error::in_chunk`].
+    pub fn decode_chunk(
+        &self,
+        payload: &[u8],
+        raw: bool,
+        vals: &mut [F],
+        scratch: &mut Scratch<F>,
+    ) -> Result<()> {
+        match self {
+            ChunkDecoder::Abs(q) => chunk::decompress_chunk(q, payload, raw, vals, scratch),
+            ChunkDecoder::Rel(q) => chunk::decompress_chunk(q, payload, raw, vals, scratch),
+            ChunkDecoder::Pass(q) => chunk::decompress_chunk(q, payload, raw, vals, scratch),
+        }
+    }
+}
+
 /// Decompress an archive produced by [`compress`] (any implementation).
+///
+/// On v2 archives every chunk's stored checksum is verified against its
+/// payload bytes *before* the chunk is decoded, so storage or transport
+/// corruption surfaces as [`Error::ChecksumMismatch`] naming the damaged
+/// chunk — not as a structural error in whatever stage the damaged bits
+/// happened to confuse. v1 archives carry no checksums; for them this is
+/// identical to [`decompress_unverified`].
 pub fn decompress<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
-    let (header, sizes, payload_start) = Header::read(archive)?;
+    run_decompress(archive, mode, true)
+}
+
+/// [`decompress`] without per-chunk checksum verification.
+///
+/// For archives already protected end-to-end by the storage layer (or for
+/// measuring the checksum tax — see `profile_stages`). Decoding is still
+/// total over arbitrary bytes; what is lost is only the guarantee that a
+/// structural error names the chunk whose bytes were actually damaged.
+pub fn decompress_unverified<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
+    run_decompress(archive, mode, false)
+}
+
+fn run_decompress<F: PfplFloat>(archive: &[u8], mode: Mode, verify: bool) -> Result<Vec<F>> {
+    let toc = Toc::read(archive)?;
+    let (header, sizes, payload_start) = (toc.header, &toc.sizes, toc.payload_start);
     if header.precision != F::PRECISION {
         return Err(Error::PrecisionMismatch {
             archive: header.precision,
@@ -186,41 +266,35 @@ pub fn decompress<F: PfplFloat>(archive: &[u8], mode: Mode) -> Result<Vec<F>> {
         });
     }
     let payload = &archive[payload_start..];
-    let offsets = chunk_offsets(&sizes, payload.len(), payload_start)?;
+    let offsets = chunk_offsets(sizes, payload.len(), payload_start)?;
     let vpc = chunk::values_per_chunk::<F>();
-    // `Header::read` validated count against chunk_count and the size
-    // table's physical presence, so this allocation is capped by what the
+    // `Toc::read` validated count against chunk_count and the tables'
+    // physical presence, so this allocation is capped by what the
     // archive's real length supports (≤ len * vpc expansion, the format's
     // legitimate maximum).
     let count = header.count as usize;
 
-    let derived = F::from_f64(header.derived_bound);
-    // Build the quantizer the encoder used; `derived_bound` is exactly
-    // representable in F by construction.
-    enum Dec<F: PfplFloat> {
-        Abs(AbsQuantizer<F>),
-        Rel(RelQuantizer<F>),
-        Pass(PassthroughQuantizer),
-    }
-    let dec: Dec<F> = if header.passthrough {
-        Dec::Pass(PassthroughQuantizer)
-    } else {
-        match header.kind {
-            BoundKind::Abs | BoundKind::Noa => Dec::Abs(AbsQuantizer::new(derived)?),
-            BoundKind::Rel => Dec::Rel(RelQuantizer::new(derived)?),
-        }
-    };
+    let dec = ChunkDecoder::<F>::from_header(&header)?;
 
     let mut out = vec![F::ZERO; count];
     let work = |(i, vals): (usize, &mut [F]), scratch: &mut Scratch<F>| -> Result<()> {
         let p = &payload[offsets[i]..offsets[i + 1]];
-        let raw = sizes[i] & RAW_FLAG != 0;
-        match &dec {
-            Dec::Abs(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
-            Dec::Rel(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
-            Dec::Pass(q) => chunk::decompress_chunk(q, p, raw, vals, scratch),
+        if verify {
+            if let Some(stored) = toc.chunk_checksum(i) {
+                let computed = payload_checksum(i, p);
+                if computed != stored {
+                    return Err(Error::ChecksumMismatch {
+                        chunk: i,
+                        offset: payload_start + offsets[i],
+                        stored,
+                        computed,
+                    });
+                }
+            }
         }
-        .map_err(|e| e.in_chunk(i, payload_start + offsets[i]))
+        let raw = sizes[i] & RAW_FLAG != 0;
+        dec.decode_chunk(p, raw, vals, scratch)
+            .map_err(|e| e.in_chunk(i, payload_start + offsets[i]))
     };
 
     match mode {
@@ -368,9 +442,9 @@ mod tests {
         for cut in [0, 10, 35, 36, 40, arch.len() / 2, arch.len() - 1] {
             let _ = decompress::<f32>(&arch[..cut], Mode::Serial);
         }
-        // Flip bytes in the size table region.
+        // Flip bytes in the size table region (v2 tables start at 40).
         let mut bad = arch.clone();
-        bad[37] ^= 0xFF;
+        bad[41] ^= 0xFF;
         let _ = decompress::<f32>(&bad, Mode::Serial);
     }
 

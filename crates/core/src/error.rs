@@ -66,6 +66,21 @@ pub enum Error {
         /// The running payload-byte sum at that entry (saturated).
         total: u64,
     },
+    /// A v2 chunk payload's stored integrity checksum disagrees with the
+    /// digest computed over its bytes — the payload was damaged in storage
+    /// or transit. Verification happens *before* decoding, so this names
+    /// the chunk whose bytes are actually corrupted, not a downstream
+    /// chunk that happened to fail structurally.
+    ChecksumMismatch {
+        /// Index of the damaged chunk.
+        chunk: usize,
+        /// Archive-absolute byte offset of the chunk's payload.
+        offset: usize,
+        /// Checksum stored in the archive's checksum table.
+        stored: u32,
+        /// Checksum computed over the payload bytes present.
+        computed: u32,
+    },
     /// One chunk's payload does not decode to the byte length the header
     /// and size table promised for it (truncated mid-chunk, trailing
     /// garbage, or a survivor-count mismatch in the zero-elimination
@@ -145,6 +160,16 @@ impl fmt::Display for Error {
                 f,
                 "corrupt size table: payload sizes through chunk {chunk} sum to {total}, \
                  inconsistent with the archive"
+            ),
+            Error::ChecksumMismatch {
+                chunk,
+                offset,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in chunk {chunk} (payload at byte {offset}): \
+                 stored {stored:#010x}, computed {computed:#010x}"
             ),
             Error::ChunkPayloadMismatch {
                 chunk,

@@ -58,6 +58,7 @@
 // comparison would silently accept.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod checksum;
 pub mod chunk;
 pub mod compress;
 pub mod container;
@@ -66,16 +67,20 @@ pub mod exact;
 pub mod float;
 pub mod lossless;
 pub mod quantize;
+pub mod salvage;
 pub mod stats;
 pub mod stream;
 pub mod types;
 
 pub use compress::{
     compress, compress_f32, compress_f64, compress_with_stats, decompress, decompress_f32,
-    decompress_f64,
+    decompress_f64, decompress_unverified, ChunkDecoder,
 };
 pub use error::{Error, Result};
 pub use float::PfplFloat;
+pub use salvage::{
+    decompress_salvage, verify_archive, ChunkReport, ChunkStatus, SalvageReport,
+};
 pub use stats::CompressStats;
 pub use stream::{decompress_chunks, StreamCompressor};
 pub use types::{BoundKind, ErrorBound, Mode, Precision};

@@ -26,7 +26,8 @@
 //! pre-pass (§III-E).
 
 use crate::chunk::{self, Scratch};
-use crate::container::{Header, RAW_FLAG};
+use crate::compress::ChunkDecoder;
+use crate::container::{payload_checksum, Header, Toc, RAW_FLAG, V2_HEADER_LEN};
 use crate::error::{Error, Result};
 use crate::float::{bound_toward_zero, PfplFloat, Word};
 use crate::quantize::{AbsQuantizer, RelQuantizer};
@@ -46,6 +47,7 @@ pub struct StreamCompressor<F: PfplFloat> {
     derived: f64,
     pending: Vec<F>,
     sizes: Vec<u32>,
+    checksums: Vec<u32>,
     payloads: Vec<u8>,
     scratch: Scratch<F>,
     lossless: u64,
@@ -91,6 +93,7 @@ impl<F: PfplFloat> StreamCompressor<F> {
             derived,
             pending: Vec::with_capacity(chunk::values_per_chunk::<F>()),
             sizes: Vec::new(),
+            checksums: Vec::new(),
             payloads: Vec::new(),
             scratch: Scratch::default(),
             lossless: 0,
@@ -111,6 +114,10 @@ impl<F: PfplFloat> StreamCompressor<F> {
             }
         };
         let len = (self.payloads.len() - start) as u32;
+        // Digest the payload while it is still cache-hot; the chunk index
+        // (= the table position being appended) seeds the checksum.
+        self.checksums
+            .push(payload_checksum(self.sizes.len(), &self.payloads[start..]));
         self.sizes
             .push(len | if info.raw { RAW_FLAG } else { 0 });
         self.lossless += info.lossless_values;
@@ -176,10 +183,9 @@ impl<F: PfplFloat> StreamCompressor<F> {
             count: self.total,
             chunk_count: self.sizes.len() as u32,
         };
-        let mut archive = Vec::with_capacity(
-            crate::container::HEADER_LEN + 4 * self.sizes.len() + self.payloads.len(),
-        );
-        header.write(&self.sizes, &mut archive);
+        let mut archive =
+            Vec::with_capacity(V2_HEADER_LEN + 8 * self.sizes.len() + self.payloads.len());
+        header.write(&self.sizes, &self.checksums, &mut archive);
         archive.extend_from_slice(&self.payloads);
         let stats = CompressStats {
             total_values: self.total,
@@ -195,10 +201,20 @@ impl<F: PfplFloat> StreamCompressor<F> {
 
 /// Iterate the chunks of an archive without materializing the whole
 /// output — the reader-side streaming counterpart.
+///
+/// The iterator **resyncs after a bad chunk** rather than aborting: chunk
+/// boundaries come from the (validated) size table, not from the payload
+/// bytes themselves, so one damaged chunk yields one `Err` item and the
+/// next iteration continues at the next chunk's payload. On v2 archives
+/// each chunk's checksum is verified before decoding, so damage surfaces
+/// as [`Error::ChecksumMismatch`] naming exactly the corrupted chunk; on
+/// v1 archives only structural decode errors can flag a chunk. Chunks that
+/// decode cleanly are bit-identical to the strict whole-archive decode.
 pub fn decompress_chunks<F: PfplFloat>(
     archive: &[u8],
 ) -> Result<impl Iterator<Item = Result<Vec<F>>> + '_> {
-    let (header, sizes, payload_start) = Header::read(archive)?;
+    let toc = Toc::read(archive)?;
+    let (header, payload_start) = (toc.header, toc.payload_start);
     if header.precision != F::PRECISION {
         return Err(Error::PrecisionMismatch {
             archive: header.precision,
@@ -206,43 +222,37 @@ pub fn decompress_chunks<F: PfplFloat>(
         });
     }
     let payload = &archive[payload_start..];
-    let offsets = crate::container::chunk_offsets(&sizes, payload.len(), payload_start)?;
+    let offsets = crate::container::chunk_offsets(&toc.sizes, payload.len(), payload_start)?;
     let vpc = chunk::values_per_chunk::<F>();
-    // `Header::read` validated count against chunk_count, so
+    // `Toc::read` validated count against chunk_count, so
     // `count - i * vpc` below cannot underflow for any chunk index.
     let count = header.count as usize;
-    enum Q<F: PfplFloat> {
-        Abs(AbsQuantizer<F>),
-        Rel(RelQuantizer<F>),
-        Pass(crate::quantize::PassthroughQuantizer),
-    }
-    let derived = F::from_f64(header.derived_bound);
-    let q = if header.passthrough {
-        Q::Pass(crate::quantize::PassthroughQuantizer)
-    } else {
-        match header.kind {
-            BoundKind::Abs | BoundKind::Noa => Q::Abs(AbsQuantizer::new(derived)?),
-            BoundKind::Rel => Q::Rel(RelQuantizer::new(derived)?),
-        }
-    };
+    let dec = ChunkDecoder::<F>::from_header(&header)?;
     let mut scratch = Scratch::default();
     let mut i = 0usize;
     Ok(std::iter::from_fn(move || {
-        if i >= sizes.len() {
+        if i >= toc.sizes.len() {
             return None;
         }
         let nvals = vpc.min(count - i * vpc);
         let p = &payload[offsets[i]..offsets[i + 1]];
-        let raw = sizes[i] & RAW_FLAG != 0;
-        let mut vals = vec![F::ZERO; nvals];
-        let res = match &q {
-            Q::Abs(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
-            Q::Rel(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
-            Q::Pass(q) => chunk::decompress_chunk(q, p, raw, &mut vals, &mut scratch),
-        }
-        .map_err(|e| e.in_chunk(i, payload_start + offsets[i]));
+        let raw = toc.sizes[i] & RAW_FLAG != 0;
+        let res = match toc.chunk_checksum(i) {
+            Some(stored) if payload_checksum(i, p) != stored => Err(Error::ChecksumMismatch {
+                chunk: i,
+                offset: payload_start + offsets[i],
+                stored,
+                computed: payload_checksum(i, p),
+            }),
+            _ => {
+                let mut vals = vec![F::ZERO; nvals];
+                dec.decode_chunk(p, raw, &mut vals, &mut scratch)
+                    .map(|()| vals)
+                    .map_err(|e| e.in_chunk(i, payload_start + offsets[i]))
+            }
+        };
         i += 1;
-        Some(res.map(|()| vals))
+        Some(res)
     }))
 }
 
@@ -307,6 +317,40 @@ mod tests {
             whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             streamed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn chunked_decode_resyncs_past_a_damaged_chunk() {
+        let data = signal(20_000); // 5 f32 chunks
+        let archive = crate::compress(&data, ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        let clean: Vec<f32> = crate::decompress(&archive, Mode::Serial).unwrap();
+        let toc = Toc::read(&archive).unwrap();
+        let damaged = 2usize;
+        let off = toc.payload_start
+            + toc.sizes[..damaged]
+                .iter()
+                .map(|&s| (s & !RAW_FLAG) as usize)
+                .sum::<usize>();
+        let mut bad = archive.clone();
+        bad[off] ^= 0xFF;
+        let items: Vec<_> = decompress_chunks::<f32>(&bad).unwrap().collect();
+        assert_eq!(items.len(), 5);
+        let vpc = chunk::values_per_chunk::<f32>();
+        for (i, item) in items.iter().enumerate() {
+            if i == damaged {
+                assert!(
+                    matches!(item, Err(Error::ChecksumMismatch { chunk: 2, .. })),
+                    "{item:?}"
+                );
+            } else {
+                let vals = item.as_ref().expect("undamaged chunk must decode");
+                let want = &clean[i * vpc..(i * vpc + vals.len())];
+                assert!(vals
+                    .iter()
+                    .zip(want)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
     }
 
     #[test]

@@ -37,13 +37,14 @@ use crate::grid;
 use crate::lookback::Lookback;
 use crate::shared::{DeviceBuffer, DeviceSlice};
 use crate::warp::{self, WARP_SIZE};
-use pfpl::container::{chunk_offsets, Header, HEADER_LEN, RAW_FLAG};
+use pfpl::container::{chunk_offsets, payload_checksum, Header, Toc, RAW_FLAG, V2_HEADER_LEN};
 use pfpl::error::{Error, Result};
 use pfpl::float::{bound_toward_zero, negabinary, PfplFloat, Word};
 use pfpl::lossless::shuffle;
 use pfpl::quantize::{
     derive_noa_bound, AbsQuantizer, NoaBound, PassthroughQuantizer, Quantizer, RelQuantizer,
 };
+use pfpl::salvage::{salvage_extents, ChunkReport, ChunkStatus, SalvageReport};
 use pfpl::types::{BoundKind, ErrorBound};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -122,6 +123,7 @@ impl GpuDevice {
         let arena = DeviceBuffer::new(data.len() * word_bytes);
         let lookback = Lookback::new(nchunks);
         let sizes: Vec<AtomicU32> = (0..nchunks).map(|_| AtomicU32::new(0)).collect();
+        let checksums: Vec<AtomicU32> = (0..nchunks).map(|_| AtomicU32::new(0)).collect();
         let lossless: AtomicU64 = AtomicU64::new(0);
 
         grid::launch_init(
@@ -134,6 +136,10 @@ impl GpuDevice {
                 let (raw, ll) = encode_chunk_block(q, &data[lo..hi], scratch);
                 lossless.fetch_add(ll, Ordering::Relaxed);
                 let len = scratch.payload.len();
+                // Each block digests its own payload while it is still in
+                // "shared memory" — the v2 checksum table entry rides the
+                // same per-block stores as the size entry.
+                checksums[b].store(payload_checksum(b, &scratch.payload), Ordering::Release);
                 let off = lookback.run_block(b, len as u64) as usize;
                 // SAFETY: look-back offsets are an exclusive prefix sum of
                 // the payload lengths, so every block's range is disjoint
@@ -145,6 +151,7 @@ impl GpuDevice {
         );
 
         let sizes: Vec<u32> = sizes.into_iter().map(|s| s.into_inner()).collect();
+        let checksums: Vec<u32> = checksums.into_iter().map(|c| c.into_inner()).collect();
         let payload_len: usize = sizes.iter().map(|&s| (s & !RAW_FLAG) as usize).sum();
         let header = Header {
             precision: F::PRECISION,
@@ -155,18 +162,23 @@ impl GpuDevice {
             count: data.len() as u64,
             chunk_count: nchunks as u32,
         };
-        let mut archive = Vec::with_capacity(HEADER_LEN + 4 * nchunks + payload_len);
-        header.write(&sizes, &mut archive);
+        let mut archive = Vec::with_capacity(V2_HEADER_LEN + 8 * nchunks + payload_len);
+        header.write(&sizes, &checksums, &mut archive);
         archive.extend_from_slice(&arena.into_vec(payload_len));
         Ok(archive)
     }
 
     /// Decompress an archive; bit-identical to [`pfpl::decompress`].
+    ///
+    /// Like the CPU paths, v2 chunk checksums are verified per block
+    /// *before* the block decodes, so corruption is reported as
+    /// [`Error::ChecksumMismatch`] naming the damaged chunk.
     pub fn decompress<F: PfplFloat>(&self, archive: &[u8]) -> Result<Vec<F>>
     where
         F::Bits: WarpTranspose,
     {
-        let (header, sizes, payload_start) = Header::read(archive)?;
+        let toc = Toc::read(archive)?;
+        let (header, sizes, payload_start) = (toc.header, &toc.sizes, toc.payload_start);
         if header.precision != F::PRECISION {
             return Err(Error::PrecisionMismatch {
                 archive: header.precision,
@@ -175,10 +187,10 @@ impl GpuDevice {
         }
         let payload = &archive[payload_start..];
         // The paper's decoder computes a prefix sum over the stored sizes.
-        let offsets = chunk_offsets(&sizes, payload.len(), payload_start)?;
+        let offsets = chunk_offsets(sizes, payload.len(), payload_start)?;
         let vpc = pfpl::chunk::values_per_chunk::<F>();
-        // `Header::read` validated count against chunk_count and the size
-        // table's presence, so this allocation is archive-length-bounded
+        // `Toc::read` validated count against chunk_count and the tables'
+        // presence, so this allocation is archive-length-bounded
         // and `count - lo` below cannot underflow.
         let count = header.count as usize;
         let derived = F::from_f64(header.derived_bound);
@@ -187,6 +199,12 @@ impl GpuDevice {
         // any order; keeping the lowest index makes the report
         // deterministic across schedules).
         let failed: Mutex<Option<(usize, Error)>> = Mutex::new(None);
+        let record = |b: usize, e: Error| {
+            let mut slot = failed.lock().unwrap();
+            if slot.as_ref().is_none_or(|(prev, _)| b < *prev) {
+                *slot = Some((b, e));
+            }
+        };
 
         let run = |q: &(dyn Quantizer<F> + Sync)| {
             grid::launch_init(
@@ -197,6 +215,21 @@ impl GpuDevice {
                     let lo = b * vpc;
                     let nvals = vpc.min(count - lo);
                     let p = &payload[offsets[b]..offsets[b + 1]];
+                    if let Some(stored) = toc.chunk_checksum(b) {
+                        let computed = payload_checksum(b, p);
+                        if computed != stored {
+                            record(
+                                b,
+                                Error::ChecksumMismatch {
+                                    chunk: b,
+                                    offset: payload_start + offsets[b],
+                                    stored,
+                                    computed,
+                                },
+                            );
+                            return;
+                        }
+                    }
                     let raw = sizes[b] & RAW_FLAG != 0;
                     match decode_chunk_block(q, p, raw, nvals, scratch) {
                         Ok(()) => {
@@ -204,12 +237,7 @@ impl GpuDevice {
                             // exclusively.
                             unsafe { out.write_at(lo, &scratch.words) };
                         }
-                        Err(e) => {
-                            let mut slot = failed.lock().unwrap();
-                            if slot.as_ref().is_none_or(|(prev, _)| b < *prev) {
-                                *slot = Some((b, e.in_chunk(b, payload_start + offsets[b])));
-                            }
-                        }
+                        Err(e) => record(b, e.in_chunk(b, payload_start + offsets[b])),
                     }
                 },
             );
@@ -226,6 +254,112 @@ impl GpuDevice {
             return Err(e);
         }
         Ok(out.into_vec().into_iter().map(F::from_bits).collect())
+    }
+
+    /// Salvage-decode a possibly damaged archive on the device: every
+    /// block verifies and decodes its chunk independently, damaged chunks
+    /// come back as `fill`, and the per-chunk report matches
+    /// [`pfpl::decompress_salvage`]'s (intact chunks bit-identical to the
+    /// strict decode, same statuses, same offsets). Errors only when the
+    /// header itself cannot be trusted — see [`pfpl::salvage`].
+    pub fn decompress_salvage<F: PfplFloat>(
+        &self,
+        archive: &[u8],
+        fill: F,
+    ) -> Result<(Vec<F>, SalvageReport)>
+    where
+        F::Bits: WarpTranspose,
+    {
+        let toc = Toc::read(archive)?;
+        let header = toc.header;
+        if header.precision != F::PRECISION {
+            return Err(Error::PrecisionMismatch {
+                archive: header.precision,
+                requested: F::PRECISION,
+            });
+        }
+        let payload = &archive[toc.payload_start.min(archive.len())..];
+        // Lenient extents (shared with the CPU salvage path): a truncated
+        // payload shortens per-chunk extents instead of failing globally.
+        let extents = salvage_extents(&toc.sizes, payload.len());
+        let vpc = pfpl::chunk::values_per_chunk::<F>();
+        let count = header.count as usize;
+        let derived = F::from_f64(header.derived_bound);
+        let nchunks = header.chunk_count as usize;
+        // Prefill the device output with the fill pattern; only blocks
+        // whose chunk verifies and decodes overwrite their slice.
+        let out: DeviceSlice<F::Bits> = DeviceSlice::new_with(count, fill.to_bits());
+        let reports: Mutex<Vec<Option<ChunkReport>>> = Mutex::new(vec![None; nchunks]);
+
+        let run = |q: &(dyn Quantizer<F> + Sync)| {
+            grid::launch_init(
+                nchunks,
+                self.config.resident_blocks(),
+                DecodeScratch::<F>::default,
+                |scratch, b| {
+                    let lo = b * vpc;
+                    let nvals = vpc.min(count - lo);
+                    let (start, claimed) = extents[b];
+                    let offset = toc.payload_start + start;
+                    let have = payload.len().saturating_sub(start).min(claimed);
+                    let status = if have < claimed {
+                        ChunkStatus::Truncated { claimed, have }
+                    } else {
+                        let p = &payload[start..start + claimed];
+                        let stored = toc.chunk_checksum(b);
+                        let computed = stored.map(|_| payload_checksum(b, p));
+                        match (stored, computed) {
+                            (Some(s), Some(c)) if s != c => ChunkStatus::ChecksumMismatch {
+                                stored: s,
+                                computed: c,
+                            },
+                            _ => {
+                                let raw = toc.sizes[b] & RAW_FLAG != 0;
+                                match decode_chunk_block(q, p, raw, nvals, scratch) {
+                                    Ok(()) => {
+                                        // SAFETY: chunk b owns
+                                        // out[lo..lo+nvals] exclusively.
+                                        unsafe { out.write_at(lo, &scratch.words) };
+                                        ChunkStatus::Ok
+                                    }
+                                    Err(e) => ChunkStatus::PayloadError {
+                                        detail: e.in_chunk(b, offset).to_string(),
+                                    },
+                                }
+                            }
+                        }
+                    };
+                    reports.lock().unwrap()[b] = Some(ChunkReport {
+                        chunk: b,
+                        offset,
+                        len: claimed,
+                        values: nvals,
+                        status,
+                    });
+                },
+            );
+        };
+        if header.passthrough {
+            run(&PassthroughQuantizer);
+        } else {
+            match header.kind {
+                BoundKind::Abs | BoundKind::Noa => run(&AbsQuantizer::<F>::new(derived)?),
+                BoundKind::Rel => run(&RelQuantizer::<F>::new(derived)?),
+            }
+        }
+        let chunks: Vec<ChunkReport> = reports
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|r| r.expect("every launched block files a report"))
+            .collect();
+        Ok((
+            out.into_vec().into_iter().map(F::from_bits).collect(),
+            SalvageReport {
+                version: toc.version,
+                chunks,
+            },
+        ))
     }
 }
 
@@ -698,6 +832,31 @@ mod tests {
         let cpu = pfpl::compress(&data, bound, Mode::Serial).unwrap();
         let gpu = device().compress(&data, bound).unwrap();
         assert_eq!(cpu, gpu);
+    }
+
+    #[test]
+    fn device_salvage_matches_cpu_salvage() {
+        let data = smooth(30_000); // 8 f32 chunks
+        let archive = pfpl::compress(&data, ErrorBound::Abs(1e-3), Mode::Serial).unwrap();
+        let mut bad = archive.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x55; // damages the final chunk's payload
+        // Strict device decode refuses, naming the damaged chunk.
+        assert!(matches!(
+            device().decompress::<f32>(&bad),
+            Err(Error::ChecksumMismatch { chunk: 7, .. })
+        ));
+        // Salvage agrees with the CPU backends bit-for-bit, report and all.
+        let (cpu_vals, cpu_rep) =
+            pfpl::decompress_salvage::<f32>(&bad, Mode::Serial, f32::NAN).unwrap();
+        let (gpu_vals, gpu_rep) = device().decompress_salvage::<f32>(&bad, f32::NAN).unwrap();
+        assert_eq!(cpu_rep, gpu_rep);
+        assert_eq!(gpu_rep.damaged(), 1);
+        assert!(!gpu_rep.chunks[7].status.is_ok());
+        assert_eq!(
+            cpu_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            gpu_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and reach the chunk decoders are the ones that find bugs.
 
 use crate::rng::Rng;
-use pfpl::container::{Header, HEADER_LEN, RAW_FLAG};
+use pfpl::container::{Header, Toc, HEADER_LEN, RAW_FLAG, V2_HEADER_LEN};
 
 /// Byte offsets of the fixed header fields (see `docs/FORMAT.md`).
 const FLAGS_OFF: usize = 6;
@@ -15,7 +15,7 @@ const COUNT_OFF: usize = 24;
 const CHUNK_COUNT_OFF: usize = 32;
 
 /// Names of all operators, index-aligned with [`mutate`]'s dispatch.
-pub const OPERATORS: [&str; 12] = [
+pub const OPERATORS: [&str; 13] = [
     "byte_flip",
     "truncate",
     "extend",
@@ -27,6 +27,7 @@ pub const OPERATORS: [&str; 12] = [
     "raw_flag_flip",
     "size_shift",
     "chunk_splice",
+    "checksum_entry_edit",
     "garbage",
 ];
 
@@ -66,10 +67,12 @@ pub fn mutate(rng: &mut Rng, archive: &[u8]) -> (Vec<u8>, &'static str) {
                 m.push((rng.next_u64() >> 24) as u8);
             }
         }
-        // Flip a byte inside the fixed header specifically.
+        // Flip a byte inside the fixed header (including, for v2 archives,
+        // the header-checksum field itself).
         3 => {
-            if m.len() >= HEADER_LEN {
-                let i = rng.below(HEADER_LEN);
+            let span = V2_HEADER_LEN.min(m.len());
+            if span > 0 {
+                let i = rng.below(span);
                 m[i] ^= rng.nonzero_byte();
             }
         }
@@ -128,8 +131,10 @@ pub fn mutate(rng: &mut Rng, archive: &[u8]) -> (Vec<u8>, &'static str) {
         // Move bytes from one chunk's size to another, keeping the total:
         // passes the sum check, desyncs every later chunk boundary.
         9 => {
-            if let Ok((h, sizes, _)) = Header::read(archive) {
-                if h.chunk_count >= 2 {
+            if let Ok(toc) = Toc::read(archive) {
+                if toc.header.chunk_count >= 2 {
+                    let sizes = &toc.sizes;
+                    let base = toc.sizes_offset();
                     let i = rng.below(sizes.len());
                     let mut j = rng.below(sizes.len());
                     if i == j {
@@ -138,8 +143,8 @@ pub fn mutate(rng: &mut Rng, archive: &[u8]) -> (Vec<u8>, &'static str) {
                     let len_i = sizes[i] & !RAW_FLAG;
                     if len_i > 0 {
                         let d = 1 + rng.below(len_i as usize) as u32;
-                        write_size(&mut m, i, sizes[i] - d);
-                        write_size(&mut m, j, sizes[j] + d);
+                        write_size(&mut m, base, i, sizes[i] - d);
+                        write_size(&mut m, base, j, sizes[j] + d);
                     }
                 }
             }
@@ -154,6 +159,21 @@ pub fn mutate(rng: &mut Rng, archive: &[u8]) -> (Vec<u8>, &'static str) {
                     let src = payload_start + rng.below(plen - n + 1);
                     let dst = payload_start + rng.below(plen - n + 1);
                     m.copy_within(src..src + n, dst);
+                }
+            }
+        }
+        // Rewrite one checksum-table entry (v2): the payload is intact but
+        // its stored digest lies — strict decode must reject exactly that
+        // chunk, salvage must flag it and keep the rest.
+        11 => {
+            if let Ok(toc) = Toc::read(archive) {
+                if let Some(base) = toc.checksums_offset() {
+                    if toc.header.chunk_count > 0 {
+                        let i = rng.below(toc.sizes.len());
+                        let off = base + i * 4;
+                        let forged = toc.checksums[i] ^ (rng.next_u64() as u32 | 1);
+                        m[off..off + 4].copy_from_slice(&forged.to_le_bytes());
+                    }
                 }
             }
         }
@@ -174,17 +194,18 @@ pub fn mutate(rng: &mut Rng, archive: &[u8]) -> (Vec<u8>, &'static str) {
 
 /// Rewrite one randomly chosen size-table entry through `f`.
 fn edit_table_entry(archive: &[u8], rng: &mut Rng, m: &mut [u8], f: impl Fn(&mut Rng, u32) -> u32) {
-    if let Ok((h, sizes, _)) = Header::read(archive) {
-        if h.chunk_count > 0 {
-            let i = rng.below(sizes.len());
-            let forged = f(rng, sizes[i]);
-            write_size(m, i, forged);
+    if let Ok(toc) = Toc::read(archive) {
+        if toc.header.chunk_count > 0 {
+            let i = rng.below(toc.sizes.len());
+            let forged = f(rng, toc.sizes[i]);
+            write_size(m, toc.sizes_offset(), i, forged);
         }
     }
 }
 
-fn write_size(m: &mut [u8], index: usize, value: u32) {
-    let off = HEADER_LEN + index * 4;
+/// `sizes_off` is the table base for the archive's version ([`Toc::sizes_offset`]).
+fn write_size(m: &mut [u8], sizes_off: usize, index: usize, value: u32) {
+    let off = sizes_off + index * 4;
     m[off..off + 4].copy_from_slice(&value.to_le_bytes());
 }
 
@@ -227,8 +248,9 @@ mod tests {
     #[test]
     fn size_shift_preserves_total() {
         let a = sample_archive();
-        let (h, sizes, _) = Header::read(&a).unwrap();
-        assert!(h.chunk_count >= 2);
+        let toc = Toc::read(&a).unwrap();
+        assert!(toc.header.chunk_count >= 2);
+        let base = toc.sizes_offset();
         let mut rng = Rng::new(3);
         loop {
             let (m, op) = mutate(&mut rng, &a);
@@ -236,12 +258,41 @@ mod tests {
                 continue;
             }
             let total = |s: &[u32]| s.iter().map(|&x| (x & !RAW_FLAG) as u64).sum::<u64>();
-            let mutated: Vec<u32> = m[HEADER_LEN..HEADER_LEN + sizes.len() * 4]
+            let mutated: Vec<u32> = m[base..base + toc.sizes.len() * 4]
                 .chunks_exact(4)
                 .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
-            assert_eq!(total(&sizes), total(&mutated));
-            assert_ne!(sizes, mutated);
+            assert_eq!(total(&toc.sizes), total(&mutated));
+            assert_ne!(toc.sizes, mutated);
+            break;
+        }
+    }
+
+    #[test]
+    fn checksum_entry_edit_lands_in_the_checksum_table() {
+        let a = sample_archive();
+        let toc = Toc::read(&a).unwrap();
+        let (lo, hi) = (
+            toc.checksums_offset().unwrap(),
+            toc.checksums_offset().unwrap() + toc.sizes.len() * 4,
+        );
+        let mut rng = Rng::new(11);
+        loop {
+            let (m, op) = mutate(&mut rng, &a);
+            if op != "checksum_entry_edit" || m == a {
+                continue;
+            }
+            assert_eq!(m.len(), a.len());
+            let diff: Vec<usize> = (0..m.len()).filter(|&i| m[i] != a[i]).collect();
+            assert!(
+                diff.iter().all(|&i| (lo..hi).contains(&i)),
+                "edits at {diff:?} outside checksum table {lo}..{hi}"
+            );
+            // The forged digest must make strict decode reject that chunk.
+            assert!(matches!(
+                pfpl::decompress_f32(&m, Mode::Serial),
+                Err(pfpl::Error::ChecksumMismatch { .. })
+            ));
             break;
         }
     }

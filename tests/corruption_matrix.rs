@@ -9,7 +9,7 @@
 //! because the size-table sum check requires every payload byte to be
 //! claimed.
 
-use pfpl::container::{Header, HEADER_LEN, RAW_FLAG};
+use pfpl::container::{chunk_offsets, Header, Toc, RAW_FLAG};
 use pfpl::float::PfplFloat;
 use pfpl::types::{ErrorBound, Mode, Precision};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -164,8 +164,8 @@ fn every_truncation_is_rejected() {
 #[test]
 fn size_table_perturbations_are_total() {
     for (name, precision, archive) in base_archives() {
-        let (_, sizes, _) = Header::read(&archive).unwrap();
-        for (i, &entry) in sizes.iter().enumerate() {
+        let toc = Toc::read(&archive).unwrap();
+        for (i, &entry) in toc.sizes.iter().enumerate() {
             let forged = [
                 0u32,
                 1,
@@ -178,12 +178,139 @@ fn size_table_perturbations_are_total() {
             ];
             for f in forged {
                 let mut mutant = archive.clone();
-                let off = HEADER_LEN + i * 4;
+                let off = toc.sizes_offset() + i * 4;
                 mutant[off..off + 4].copy_from_slice(&f.to_le_bytes());
                 let what = format!("size[{i}] = {f:#010x}");
                 decode_total(name, precision, &mutant, Mode::Serial, &what);
                 stream_total(name, precision, &mutant, &what);
             }
+        }
+    }
+}
+
+/// Every single-byte payload corruption must be *detected* (v2 checksums
+/// leave no blind spots in the payload region) and attributed to the
+/// chunk the byte physically belongs to — both by the strict decoder's
+/// error and by the salvage report, which must keep every other chunk
+/// intact and bit-identical.
+#[test]
+fn every_payload_flip_names_the_damaged_chunk() {
+    fn go<F: PfplFloat>(name: &str, archive: &[u8]) {
+        let toc = Toc::read(archive).unwrap();
+        let payload_len = archive.len() - toc.payload_start;
+        let offsets = chunk_offsets(&toc.sizes, payload_len, toc.payload_start).unwrap();
+        let clean: Vec<F> = pfpl::decompress(archive, Mode::Serial).unwrap();
+        let fill = F::from_f64(f64::NAN);
+        let vpc = pfpl::chunk::values_per_chunk::<F>();
+        let mut mutant = archive.to_vec();
+        for i in 0..payload_len {
+            let expected = offsets.partition_point(|&o| o <= i) - 1;
+            mutant[toc.payload_start + i] ^= 0xFF;
+            let what = format!("{name}: payload flip at byte {i} (chunk {expected})");
+            match pfpl::decompress::<F>(&mutant, Mode::Serial) {
+                Err(pfpl::Error::ChecksumMismatch { chunk, offset, .. }) => {
+                    assert_eq!(chunk, expected, "{what}: strict decode blamed chunk {chunk}");
+                    assert_eq!(offset, toc.payload_start + offsets[expected], "{what}");
+                }
+                other => panic!("{what}: expected a checksum mismatch, got {other:?}"),
+            }
+            let (vals, report) =
+                pfpl::decompress_salvage::<F>(&mutant, Mode::Serial, fill).unwrap();
+            let flagged: Vec<usize> = report
+                .chunks
+                .iter()
+                .filter(|c| !c.status.is_ok())
+                .map(|c| c.chunk)
+                .collect();
+            assert_eq!(flagged, [expected], "{what}: salvage flagged {flagged:?}");
+            for (c, chunk) in clean.chunks(vpc).enumerate() {
+                let lo = c * vpc;
+                if c == expected {
+                    assert!(
+                        vals[lo..lo + chunk.len()]
+                            .iter()
+                            .all(|v| v.to_bits() == fill.to_bits()),
+                        "{what}: damaged chunk not filled"
+                    );
+                } else {
+                    assert!(
+                        vals[lo..lo + chunk.len()]
+                            .iter()
+                            .zip(chunk)
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "{what}: intact chunk {c} diverged"
+                    );
+                }
+            }
+            mutant[toc.payload_start + i] ^= 0xFF; // restore
+        }
+        assert_eq!(mutant, archive, "mutation loop failed to restore");
+    }
+    for (name, precision, archive) in base_archives() {
+        match precision {
+            Precision::Single => go::<f32>(name, &archive),
+            Precision::Double => go::<f64>(name, &archive),
+        }
+    }
+}
+
+/// Strip a v2 archive down to the v1 layout (version 1, no header
+/// checksum, no checksum table) — the shape pre-v2 writers produced.
+fn to_v1(archive: &[u8]) -> Vec<u8> {
+    let toc = Toc::read(archive).unwrap();
+    let table = toc.sizes_offset()..toc.sizes_offset() + 4 * toc.sizes.len();
+    let mut v1 = Vec::with_capacity(archive.len() - 4 - 4 * toc.sizes.len());
+    v1.extend_from_slice(&archive[..4]);
+    v1.extend_from_slice(&1u16.to_le_bytes());
+    v1.extend_from_slice(&archive[6..36]);
+    v1.extend_from_slice(&archive[table]);
+    v1.extend_from_slice(&archive[toc.payload_start..]);
+    v1
+}
+
+/// Back-compat: v1 archives (no checksums) still decode bit-identically
+/// to their v2 counterparts, and the whole corruption contract — total
+/// decode, rejected truncations — holds for them too, minus detection of
+/// payload flips that v1 physically cannot notice.
+#[test]
+fn v1_archives_keep_the_totality_contract() {
+    for (name, precision, archive) in base_archives() {
+        let v1 = to_v1(&archive);
+        fn check<F: PfplFloat>(name: &str, v1: &[u8], v2: &[u8]) {
+            let toc = Toc::read(v1).unwrap();
+            assert_eq!(toc.version, 1, "{name}");
+            assert!(toc.checksums.is_empty(), "{name}");
+            let a: Vec<F> = pfpl::decompress(v1, Mode::Serial).unwrap();
+            let b: Vec<F> = pfpl::decompress(v2, Mode::Parallel).unwrap();
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name}: v1 and v2 decode differently"
+            );
+            // Salvage still runs on v1 — it just can't checksum-verify, so a
+            // clean v1 archive reports all chunks intact with the caveat.
+            let (vals, report) =
+                pfpl::decompress_salvage::<F>(v1, Mode::Serial, F::ZERO).unwrap();
+            assert!(report.is_clean(), "{name}: {}", report.summary());
+            assert!(
+                vals.iter().zip(&a).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{name}: v1 salvage diverged from strict decode"
+            );
+        }
+        match precision {
+            Precision::Single => check::<f32>(name, &v1, &archive),
+            Precision::Double => check::<f64>(name, &v1, &archive),
+        }
+        // The totality matrix, abbreviated: every byte flip and every
+        // truncation stays panic-free on the v1 layout.
+        let mut mutant = v1.clone();
+        for i in 0..v1.len() {
+            mutant[i] ^= 0xFF;
+            decode_total(name, precision, &mutant, Mode::Serial, "v1 byte flip");
+            mutant[i] ^= 0xFF;
+        }
+        for cut in 0..v1.len() {
+            decode_total(name, precision, &v1[..cut], Mode::Serial, "v1 truncation");
+            stream_total(name, precision, &v1[..cut], "v1 truncation");
         }
     }
 }

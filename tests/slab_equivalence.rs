@@ -8,11 +8,38 @@ use pfpl::types::{ErrorBound, Mode};
 use pfpl_device_sim::{configs, GpuDevice};
 use proptest::prelude::*;
 
+/// Every stored digest must match a recomputation from the bytes actually
+/// present: the serial writer backpatches the checksum table through
+/// `write_placeholder` + `patch_tables`, the slab and lookback assemblers
+/// write it up front — all of them must land every word in the right slot.
+fn assert_checksums_self_consistent(archive: &[u8]) {
+    use pfpl::checksum::{checksum32, HEADER_SEED};
+    use pfpl::container::{chunk_offsets, payload_checksum, Toc, HEADER_LEN};
+    let toc = Toc::read(archive).unwrap();
+    assert_eq!(toc.version, 2, "writers must emit format v2");
+    let stored = u32::from_le_bytes(archive[HEADER_LEN..HEADER_LEN + 4].try_into().unwrap());
+    assert_eq!(
+        checksum32(HEADER_SEED, &archive[..HEADER_LEN]),
+        stored,
+        "header checksum does not cover the written fixed fields"
+    );
+    let payload = &archive[toc.payload_start..];
+    let offsets = chunk_offsets(&toc.sizes, payload.len(), toc.payload_start).unwrap();
+    for i in 0..toc.sizes.len() {
+        assert_eq!(
+            toc.checksums[i],
+            payload_checksum(i, &payload[offsets[i]..offsets[i + 1]]),
+            "chunk {i} checksum was not backpatched correctly"
+        );
+    }
+}
+
 /// Compress `data` on every implementation and assert the archives are
 /// byte-identical. Returns the archive. The streaming path is skipped for
 /// NOA (unstreamable by design: needs the global range up front).
 fn assert_all_paths_identical(data: &[f32], bound: ErrorBound) -> Vec<u8> {
     let serial = pfpl::compress(data, bound, Mode::Serial).unwrap();
+    assert_checksums_self_consistent(&serial);
     let parallel = pfpl::compress(data, bound, Mode::Parallel).unwrap();
     assert_eq!(serial, parallel, "serial vs parallel ({bound:?})");
 
@@ -110,6 +137,10 @@ fn archives_identical_across_pool_sizes() {
                 reference, arch,
                 "parallel archive diverged at {threads} pool threads ({bound:?})"
             );
+            // The slab assembler digests each chunk cache-hot inside the
+            // worker that compressed it; the table must still be correct
+            // however chunks were distributed.
+            assert_checksums_self_consistent(&arch);
             let back: Vec<f32> = pfpl::decompress(&arch, Mode::Parallel).unwrap();
             assert_eq!(back.len(), data.len());
         }
@@ -126,6 +157,7 @@ fn f64_paths_identical() {
     let data: Vec<f64> = (0..30_000).map(|i| (i as f64 * 0.001).cos() * 7.0).collect();
     for bound in [ErrorBound::Abs(1e-8), ErrorBound::Rel(1e-6)] {
         let serial = pfpl::compress(&data, bound, Mode::Serial).unwrap();
+        assert_checksums_self_consistent(&serial);
         let parallel = pfpl::compress(&data, bound, Mode::Parallel).unwrap();
         assert_eq!(serial, parallel);
         let gpu = GpuDevice::new(configs::RTX_4090)
